@@ -1,0 +1,91 @@
+"""Cost-model sensitivity: the profitability line moves with the target.
+
+The paper's vectorization decisions hinge on the cost model (Figure 1,
+steps 4-5): the motivating examples sit exactly on the profitability
+boundary under (L)SLP.  This bench perturbs two cost-model knobs and
+checks the decisions move the way the model predicts:
+
+* **expensive inserts** (gather lanes cost 3x): Figure 2's (L)SLP graph —
+  two gather nodes — goes from exactly 0 to clearly positive, while
+  SN-SLP (no gathers after reordering) is unaffected;
+* **free divisions** (fdiv as cheap as fmul): the mul/div kernel's SN-SLP
+  speedup shrinks (the expensive scalar divisions were a large part of
+  the win) but vectorization itself remains profitable.
+"""
+
+import dataclasses
+
+from repro.bench import format_rows, run_kernel_config, speedup_over
+from repro.kernels import kernel_named
+from repro.machine import DEFAULT_TARGET, CostModel, TargetMachine
+from repro.ir import Opcode
+from repro.vectorizer import LSLP_CONFIG, O3_CONFIG, SNSLP_CONFIG, compile_module
+from conftest import emit
+
+
+def _variant(name: str, **cost_overrides) -> TargetMachine:
+    base = DEFAULT_TARGET.cost_model
+    scalar_costs = dict(base.scalar_costs)
+    scalar_costs.update(cost_overrides.pop("scalar_costs", {}))
+    model = dataclasses.replace(
+        base, scalar_costs=scalar_costs, **cost_overrides
+    )
+    return TargetMachine(name=name, isa=DEFAULT_TARGET.isa, cost_model=model)
+
+
+EXPENSIVE_INSERTS = _variant("expensive-inserts", insert_cost=3.0)
+FREE_DIVISION = _variant(
+    "free-division",
+    scalar_costs={Opcode.FDIV: DEFAULT_TARGET.cost_model.scalar_costs[Opcode.FMUL]},
+)
+
+
+def test_costmodel_sensitivity(once):
+    def run():
+        rows = []
+        fig2 = kernel_named("motiv-leaf-reorder")
+        for target in (DEFAULT_TARGET, EXPENSIVE_INSERTS):
+            lslp = compile_module(fig2.build(), LSLP_CONFIG, target)
+            snslp = compile_module(fig2.build(), SNSLP_CONFIG, target)
+            rows.append(
+                {
+                    "experiment": "fig2 graph cost",
+                    "target": target.name,
+                    "LSLP": lslp.report.all_graphs()[0].cost,
+                    "SN-SLP": snslp.report.all_graphs()[0].cost,
+                }
+            )
+        norm = kernel_named("milc-field-norm")
+        for target in (DEFAULT_TARGET, FREE_DIVISION):
+            o3 = run_kernel_config(norm, O3_CONFIG, target)
+            sn = run_kernel_config(norm, SNSLP_CONFIG, target)
+            rows.append(
+                {
+                    "experiment": "mul/div kernel speedup",
+                    "target": target.name,
+                    "LSLP": 1.0,
+                    "SN-SLP": o3.cycles / sn.cycles,
+                }
+            )
+        return rows
+
+    rows = once(run)
+    emit(
+        "costmodel_sensitivity",
+        format_rows(rows, "Cost-model sensitivity"),
+        rows=rows,
+    )
+    by_key = {(r["experiment"], r["target"]): r for r in rows}
+    # expensive inserts push the Fig-2 (L)SLP graph clearly unprofitable...
+    assert by_key[("fig2 graph cost", "skylake-like")]["LSLP"] == 0.0
+    assert by_key[("fig2 graph cost", "expensive-inserts")]["LSLP"] > 0.0
+    # ...while SN-SLP's gather-free graph is untouched
+    assert (
+        by_key[("fig2 graph cost", "expensive-inserts")]["SN-SLP"]
+        == by_key[("fig2 graph cost", "skylake-like")]["SN-SLP"]
+    )
+    # cheap divisions shrink (but do not kill) the mul/div kernel's win
+    default_speed = by_key[("mul/div kernel speedup", "skylake-like")]["SN-SLP"]
+    cheap_speed = by_key[("mul/div kernel speedup", "free-division")]["SN-SLP"]
+    assert cheap_speed < default_speed
+    assert cheap_speed > 1.0

@@ -1,0 +1,29 @@
+"""Figure 6 — total aggregate Multi-/Super-Node size (kernels).
+
+Paper shape: the Super-Node achieves a much greater aggregate size than
+LSLP's Multi-Node, both because individual nodes are larger (they absorb
+the inverse operators) and because vectorization succeeds more often.
+"""
+
+from repro.bench import fig6_aggregate_node_size, format_rows
+from repro.bench.ascii import render_figure
+from conftest import emit
+
+
+def test_fig6_aggregate_node_size(once):
+    rows = once(fig6_aggregate_node_size)
+    emit(
+        "fig6_aggregate_node_size",
+        render_figure(
+            rows,
+            "Figure 6: total aggregate Multi/Super-Node size (kernels)",
+            label_column="kernel",
+            value_columns=("LSLP", "SN-SLP"),
+        ),
+        rows=rows,
+    )
+    total = rows[-1]
+    assert total["kernel"] == "total"
+    assert total["SN-SLP"] > total["LSLP"]
+    # the Super-Node aggregate must dominate clearly, not marginally
+    assert total["SN-SLP"] >= 2 * max(total["LSLP"], 1)

@@ -1,0 +1,21 @@
+"""Figure 7 — average Multi-/Super-Node size (kernels).
+
+Paper shape: the average node is ~2.2 instructions deep — 2 is the
+minimum legal node size and short chains are far more likely to be
+isomorphic than long ones.
+"""
+
+from repro.bench import fig7_average_node_size, format_rows
+from conftest import emit
+
+
+def test_fig7_average_node_size(once):
+    rows = once(fig7_average_node_size)
+    emit(
+        "fig7_average_node_size",
+        format_rows(rows, "Figure 7: average Multi/Super-Node size (kernels)"),
+        rows=rows,
+    )
+    average = rows[-1]
+    assert average["kernel"] == "average"
+    assert 2.0 <= average["SN-SLP"] <= 3.0

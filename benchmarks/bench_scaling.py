@@ -1,0 +1,82 @@
+"""Scaling study: Super-Node effectiveness vs chain depth and lane count.
+
+A parameter sweep over generated kernels (``repro.kernels.generator``):
+each point is a kernel whose lanes compute the same signed sum with
+randomly shuffled per-lane term orders — solvable exactly by Super-Node
+reordering.  We measure, per (lanes, terms) grid point:
+
+* SN-SLP speedup over O3 (should grow with lane count, stay positive as
+  chains deepen);
+* whether LSLP ever catches up (it must not: every kernel contains '-');
+* SN-SLP compile time (the reorder search is the only superlinear piece —
+  this is the scaling companion to Figure 11).
+"""
+
+import math
+import time
+
+from repro.kernels.generator import (
+    GeneratorSpec,
+    generate_inputs,
+    generate_kernel,
+    sweep_specs,
+)
+from repro.machine import DEFAULT_TARGET
+from repro.sim import simulate
+from repro.vectorizer import LSLP_CONFIG, O3_CONFIG, SNSLP_CONFIG, compile_module
+from repro.bench import format_rows
+from conftest import emit
+
+TRIP = 256
+
+
+def _measure(spec: GeneratorSpec):
+    module = generate_kernel(spec)
+    inputs = generate_inputs(spec)
+    row = {"lanes": spec.lanes, "terms": spec.terms}
+    baseline = None
+    for config in (O3_CONFIG, LSLP_CONFIG, SNSLP_CONFIG):
+        start = time.perf_counter()
+        compiled = compile_module(module, config, DEFAULT_TARGET)
+        compile_ms = (time.perf_counter() - start) * 1000
+        result = simulate(
+            compiled.module, "kernel", DEFAULT_TARGET, [TRIP], inputs=inputs
+        )
+        if baseline is None:
+            baseline = result
+        else:
+            for got, want in zip(
+                result.globals_after["OUT"], baseline.globals_after["OUT"]
+            ):
+                assert math.isclose(got, want, rel_tol=1e-9, abs_tol=1e-9)
+        row[config.name] = baseline.cycles / result.cycles
+        if config.name == "SN-SLP":
+            row["SN compile ms"] = compile_ms
+            row["vectorized"] = len(compiled.report.vectorized_graphs()) > 0
+    return row
+
+
+def test_scaling_sweep(once):
+    rows = once(lambda: [_measure(spec) for spec in sweep_specs()])
+    emit(
+        "scaling_sweep",
+        format_rows(rows, "Scaling: SN-SLP vs chain depth (terms) and lanes"),
+        rows=rows,
+    )
+    for row in rows:
+        # every grid point: SN-SLP vectorizes and at least matches LSLP
+        assert row["vectorized"], row
+        assert row["SN-SLP"] > 1.2, row
+        assert row["SN-SLP"] >= row["LSLP"] - 1e-9, row
+        if row["terms"] >= 3:
+            # a real chain with '-' terms: LSLP cannot fully fix it
+            # (at best it catches incidental partial alignments)
+            assert row["SN-SLP"] > row["LSLP"] + 0.3, row
+            assert row["LSLP"] < 1.4, row
+    # wider lanes help: compare 4-lane vs 2-lane at equal depth
+    by_point = {(row["lanes"], row["terms"]): row["SN-SLP"] for row in rows}
+    for terms in (3, 4, 5):
+        assert by_point[(4, terms)] > by_point[(2, terms)]
+    # compile time stays sane as chains deepen (no exponential blow-up)
+    worst = max(row["SN compile ms"] for row in rows)
+    assert worst < 500.0

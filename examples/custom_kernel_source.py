@@ -1,0 +1,70 @@
+"""Write your own kernel in the mini-C kernel language and vectorize it.
+
+Demonstrates the whole user-facing flow a downstream adopter would use:
+
+1. write kernel source (a complex-arithmetic update, milc-style);
+2. compile it with the frontend (lexer -> parser -> sema -> IR);
+3. run the SN-SLP pipeline;
+4. execute both versions on the simulator and check the outputs agree;
+5. print the vectorized IR.
+"""
+
+import math
+import random
+
+from repro.frontend import compile_source
+from repro.ir import print_module
+from repro.machine import DEFAULT_TARGET
+from repro.sim import simulate
+from repro.vectorizer import O3_CONFIG, SNSLP_CONFIG, compile_module
+
+SOURCE = """
+// interleaved complex multiply-add: out[2k] is the real part, out[2k+1]
+// the imaginary part.  The imaginary lane orders its terms differently --
+// the shape that defeats LSLP but not Super-Node SLP.
+double OUT[512];  double AR[512]; double AI[512];
+double BR[512];   double BI[512]; double ACC[512];
+
+kernel cmuladd(n) {
+  for (i = 0; i < n; i += 2) {
+    OUT[i+0] = AR[i+0] * BR[i+0] - AI[i+0] * BI[i+0] + ACC[i+0];
+    OUT[i+1] = AR[i+1] * BI[i+1] + ACC[i+1] + AI[i+1] * BR[i+1];
+  }
+}
+"""
+
+
+def main() -> None:
+    module = compile_source(SOURCE)
+    rng = random.Random(99)
+    inputs = {
+        name: [rng.uniform(-2.0, 2.0) for _ in range(512)]
+        for name in ("AR", "AI", "BR", "BI", "ACC")
+    }
+
+    scalar = compile_module(module, O3_CONFIG, DEFAULT_TARGET)
+    vector = compile_module(module, SNSLP_CONFIG, DEFAULT_TARGET)
+
+    scalar_run = simulate(scalar.module, "cmuladd", DEFAULT_TARGET, [512], inputs=inputs)
+    vector_run = simulate(vector.module, "cmuladd", DEFAULT_TARGET, [512], inputs=inputs)
+
+    for x, y in zip(scalar_run.globals_after["OUT"], vector_run.globals_after["OUT"]):
+        assert math.isclose(x, y, rel_tol=1e-9, abs_tol=1e-12)
+
+    print("outputs agree (fast-math reassociation within 1e-9)")
+    print(f"scalar cycles:     {scalar_run.cycles:12.1f}")
+    print(f"vectorized cycles: {vector_run.cycles:12.1f}")
+    print(f"speedup:           {scalar_run.cycles / vector_run.cycles:12.2f}x")
+    print()
+    graphs = vector.report.all_graphs()
+    print(f"SLP graphs built: {len(graphs)}, "
+          f"vectorized: {sum(g.vectorized for g in graphs)}")
+    for graph in graphs:
+        print(graph.dump)
+    print()
+    print("=== vectorized IR ===")
+    print(print_module(vector.module))
+
+
+if __name__ == "__main__":
+    main()

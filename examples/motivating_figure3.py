@@ -1,0 +1,88 @@
+"""Walk through the paper's Figure 3: trunk movement enabling leaf moves.
+
+The kernel::
+
+    A[i+0] = B[i+0] - C[i+0] + D[i+0];    // ((B - C) + D)
+    A[i+1] = B[i+1] + D[i+1] - C[i+1];    // ((B + D) - C)
+
+Lane 1's only '-'-APO leaf is C, and the root operand slot carries the
+'-' APO, so no leaf-only reordering can line C up with Lane 0 (where C
+sits one level deeper).  SN-SLP swaps Lane 1's add and sub trunks — legal
+because both positions carry a '+' APO — which relocates the '-' slot and
+lets every leaf match Lane 0.  This example drives the Super-Node API
+directly so you can watch the lane expressions morph.
+"""
+
+from repro.ir import (
+    I64,
+    VOID,
+    Function,
+    IRBuilder,
+    Module,
+    verify_module,
+)
+from repro.vectorizer import LookAheadScorer, SuperNode
+from repro.vectorizer.supernode import apo_str
+
+
+def build_module():
+    module = Module("fig3")
+    for name in "ABCD":
+        module.add_global(name, I64, 64)
+    function = Function("kernel", [("i", I64)], VOID)
+    module.add_function(function)
+    builder = IRBuilder(function.add_block("entry"))
+    i = function.arguments[0]
+
+    def load(name, off):
+        idx = builder.add(i, builder.const_i64(off)) if off else i
+        return builder.load(
+            builder.gep(module.global_named(name), idx), name=f"{name}{off}"
+        )
+
+    # Lane 0: (B - C) + D
+    lane0 = builder.add(builder.sub(load("B", 0), load("C", 0)), load("D", 0))
+    builder.store(lane0, builder.gep(module.global_named("A"), i))
+    # Lane 1: (B + D) - C
+    lane1 = builder.sub(builder.add(load("B", 1), load("D", 1)), load("C", 1))
+    idx1 = builder.add(i, builder.const_i64(1))
+    builder.store(lane1, builder.gep(module.global_named("A"), idx1))
+    builder.ret()
+    verify_module(module)
+    return module, (lane0, lane1)
+
+
+def describe(node: SuperNode, title: str) -> None:
+    print(title)
+    for lane, chain in enumerate(node.chains):
+        slots = chain.slots()
+        layout = ", ".join(
+            f"{apo_str(chain.slot_apo(slot))}{chain.leaf_at(slot).value.name}"
+            for slot in slots
+        )
+        print(f"  lane {lane}: {chain!r:40s} slots (root-first): [{layout}]")
+    print()
+
+
+def main() -> None:
+    module, roots = build_module()
+    node = SuperNode.build(
+        roots, allow_inverse=True, allow_trunk_swaps=True, fast_math=True
+    )
+    assert node is not None
+    print(
+        f"Super-Node formed: {node.num_lanes} lanes x {node.size()} trunks, "
+        f"family {node.chains[0].family}\n"
+    )
+    describe(node, "before reordering (lane 1's C is stuck at the root slot):")
+    node.reorder_leaves_and_trunks(LookAheadScorer())
+    describe(node, "after reorderLeavesAndTrunks (trunks swapped, leaves aligned):")
+    print(
+        "Both lanes now read [D, B, C] slot-for-slot with matching APOs —\n"
+        "fully isomorphic, exactly Figure 3(d) of the paper.  The regular\n"
+        "bottom-up SLP bundling that follows vectorizes every group."
+    )
+
+
+if __name__ == "__main__":
+    main()

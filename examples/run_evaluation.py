@@ -1,0 +1,73 @@
+"""Regenerate the paper's entire evaluation in one command.
+
+Convenience wrapper around the harness library: prints Table I and every
+figure's data (5 through 11) to stdout.  The `benchmarks/` pytest suite is
+the canonical, asserted version of the same content; this script is for a
+quick look without pytest.
+
+Run time: a couple of minutes (every kernel compiles under three
+configurations and executes on the simulator; Figure 11 repeats each
+compilation 10 times per the paper's protocol).
+"""
+
+import time
+
+from repro.bench import (
+    fig5_kernel_speedups,
+    fig6_aggregate_node_size,
+    fig7_average_node_size,
+    fig8_full_benchmark_speedups,
+    fig9_aggregate_node_size_full,
+    fig10_average_node_size_full,
+    fig11_compile_time,
+    format_rows,
+    format_table1,
+    table1_with_activation,
+)
+from repro.bench.ascii import render_bar_chart
+
+
+def _section(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    start = time.perf_counter()
+
+    _section("Table I — kernel inventory with SN-SLP activation")
+    print(format_table1(table1_with_activation()))
+
+    _section("Figure 5 — kernel speedup over O3")
+    rows = fig5_kernel_speedups()
+    print(format_rows(rows, ""))
+    print()
+    print(render_bar_chart(rows, "kernel", ("LSLP", "SN-SLP")))
+
+    _section("Figure 6 — total aggregate Multi/Super-Node size (kernels)")
+    print(format_rows(fig6_aggregate_node_size(), ""))
+
+    _section("Figure 7 — average Multi/Super-Node size (kernels)")
+    print(format_rows(fig7_average_node_size(), ""))
+
+    _section("Figure 8 — full-benchmark speedup (composites)")
+    print(format_rows(fig8_full_benchmark_speedups(), ""))
+
+    _section("Figure 9 — aggregate node size (full benchmarks)")
+    print(format_rows(fig9_aggregate_node_size_full(), ""))
+
+    _section("Figure 10 — average node size (full benchmarks)")
+    print(format_rows(fig10_average_node_size_full(), ""))
+
+    _section("Figure 11 — compilation time normalized to O3")
+    print(format_rows(fig11_compile_time(), ""))
+
+    elapsed = time.perf_counter() - start
+    print()
+    print(f"full evaluation regenerated in {elapsed:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

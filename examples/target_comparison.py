@@ -1,0 +1,43 @@
+"""Compare targets: vector width and addsub support change the outcome.
+
+Runs the milc-like complex-multiply kernel under SN-SLP on all modelled
+targets (256-bit Skylake-like, 128-bit SSE4-like, 256-bit without native
+addsub, scalar-only) and shows how the cost model's answers shift:
+narrower vectors halve the lane count, a missing addsub family makes
+alternating add/sub lanes pay a blend penalty, and the scalar target
+yields no seeds at all.
+"""
+
+import random
+
+from repro.bench import run_kernel_config
+from repro.kernels import kernel_named
+from repro.machine import ALL_TARGETS
+from repro.vectorizer import O3_CONFIG, SNSLP_CONFIG
+
+
+def main() -> None:
+    kernel = kernel_named("milc-su3-cmul")
+    print(f"kernel: {kernel.name} ({kernel.pattern})\n")
+    print(
+        f"{'target':14s} {'O3 cycles':>12s} {'SN-SLP cycles':>14s} "
+        f"{'speedup':>8s} {'graphs vectorized':>18s}"
+    )
+    for target in ALL_TARGETS:
+        scalar = run_kernel_config(kernel, O3_CONFIG, target)
+        vector = run_kernel_config(kernel, SNSLP_CONFIG, target)
+        print(
+            f"{target.name:14s} {scalar.cycles:12.1f} {vector.cycles:14.1f} "
+            f"{scalar.cycles / vector.cycles:8.2f} "
+            f"{vector.vectorized_graphs:18d}"
+        )
+    print()
+    print(
+        "Shapes to notice: the scalar target cannot vectorize (speedup 1.0);\n"
+        "the SSE4-like target still wins but with narrower vectors; the\n"
+        "no-addsub target pays blend penalties on alternating trunk nodes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Unroll a one-element-per-iteration loop, then SLP-vectorize it.
+
+The paper's kernels are manually unrolled (``A[i+0]``, ``A[i+1]``, ...)
+because SLP only sees straight-line code.  For sources written one element
+per iteration, the repro provides the missing -O3 ingredient: a loop
+unroller whose output is exactly the lane-per-offset shape the SLP seeds
+look for.
+
+An interesting observation this example surfaces: *compiler-unrolled*
+lanes are perfectly isomorphic copies of each other, so plain SLP already
+vectorizes them — the Super-Node's leaf/trunk reordering buys nothing.
+SN-SLP matters for code that humans (or code generators like milc's su3
+macros) wrote with per-lane algebraic variations.  That is why the paper
+finds its wins in hand-written benchmark code rather than in simple loops.
+"""
+
+import random
+
+from repro.frontend import compile_source
+from repro.machine import DEFAULT_TARGET
+from repro.sim import simulate
+from repro.vectorizer import ALL_CONFIGS, O3_CONFIG, compile_module
+
+SOURCE = """
+long A[1024]; long B[1024]; long C[1024]; long D[1024];
+
+kernel saxpyish(n) {
+  for (i = 0; i < n; i += 1) {
+    A[i] = B[i] - C[i] + D[i];
+  }
+}
+"""
+
+
+def main() -> None:
+    module = compile_source(SOURCE)
+    rng = random.Random(0)
+    inputs = {
+        name: [rng.randint(-100, 100) for _ in range(1024)] for name in "BCD"
+    }
+    n = 1000  # deliberately not a multiple of 4: exercises the remainder loop
+
+    baseline = simulate(
+        compile_module(module, O3_CONFIG, DEFAULT_TARGET).module,
+        "saxpyish", DEFAULT_TARGET, [n], inputs=inputs,
+    )
+
+    print(f"{'config':8s} {'unroll':>6s} {'cycles':>10s} {'speedup':>8s} {'vectorized':>11s}")
+    for unroll in (0, 4):
+        for config in ALL_CONFIGS:
+            compiled = compile_module(
+                module, config, DEFAULT_TARGET, unroll_factor=unroll
+            )
+            result = simulate(
+                compiled.module, "saxpyish", DEFAULT_TARGET, [n], inputs=inputs
+            )
+            assert result.globals_after["A"] == baseline.globals_after["A"]
+            print(
+                f"{config.name:8s} {unroll:6d} {result.cycles:10.1f} "
+                f"{baseline.cycles / result.cycles:8.2f} "
+                f"{len(compiled.report.vectorized_graphs()):11d}"
+            )
+    print()
+    print(
+        "Without unrolling nothing vectorizes (no adjacent stores in the\n"
+        "straight-line body); with unroll-by-4 every SLP flavour gets ~3x.\n"
+        "Remainder iterations (n % 4) run in the original scalar loop."
+    )
+
+
+if __name__ == "__main__":
+    main()

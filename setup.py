@@ -1,0 +1,13 @@
+"""Setup shim for environments without PEP 517 build isolation.
+
+`pip install -e . --no-build-isolation` uses pyproject.toml directly;
+this shim lets `python setup.py develop` work offline and registers the
+`snslp` console script explicitly (older setuptools versions do not pick
+it up from pyproject metadata during develop installs).
+"""
+
+from setuptools import setup
+
+setup(
+    entry_points={"console_scripts": ["snslp = repro.cli:main"]},
+)

@@ -1,0 +1,47 @@
+"""Super-Node SLP: a from-scratch reproduction of the CGO 2019 paper
+"Super-Node SLP: Optimized Vectorization for Code Sequences Containing
+Operators and Their Inverse Elements" (Porpodas, Rocha, Brevnov, Góes,
+Mattson).
+
+The package is organized as a miniature compiler stack:
+
+* :mod:`repro.ir` — typed SSA-style IR with use-def chains, builder,
+  textual printer/parser, verifier, address analysis and DCE;
+* :mod:`repro.frontend` — a mini-C kernel language lowered to the IR;
+* :mod:`repro.interp` — the reference interpreter (semantic oracle);
+* :mod:`repro.machine` — target ISA capabilities and TTI-style cost model;
+* :mod:`repro.sim` — cycle-accounting execution (the "real system");
+* :mod:`repro.vectorizer` — bottom-up SLP, LSLP's Multi-Node and the
+  paper's Super-Node, with the O3/LSLP/SN-SLP configurations;
+* :mod:`repro.passes` — mid-end passes (simplify, loop unrolling);
+* :mod:`repro.kernels` — the motivating examples, SPEC-like workloads and
+  a parameterized workload generator;
+* :mod:`repro.bench` — harness regenerating every table and figure;
+* :mod:`repro.cli` — the ``snslp`` command-line driver.
+
+Quickstart::
+
+    from repro.kernels import kernel_named
+    from repro.vectorizer import compile_module, SNSLP_CONFIG
+    from repro.machine import DEFAULT_TARGET
+    from repro.sim import simulate
+
+    kernel = kernel_named("motiv-trunk-reorder")
+    compiled = compile_module(kernel.build(), SNSLP_CONFIG, DEFAULT_TARGET)
+    result = simulate(compiled.module, "kernel", DEFAULT_TARGET, [64])
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ir",
+    "frontend",
+    "interp",
+    "machine",
+    "sim",
+    "vectorizer",
+    "passes",
+    "kernels",
+    "bench",
+    "cli",
+]

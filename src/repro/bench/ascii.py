@@ -1,0 +1,81 @@
+"""ASCII bar charts for the benchmark harness.
+
+The paper's evaluation figures are grouped bar charts; in a terminal-only
+environment the harness renders the same data as horizontal bar groups::
+
+    Figure 5: kernel speedup normalized to O3
+    motiv-trunk-reorder   LSLP    |############                    | 1.000
+                          SN-SLP  |#####################           | 1.736
+
+Pure text, deterministic, and written next to the numeric tables in
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+Row = Dict[str, object]
+
+
+def render_bar_chart(
+    rows: Sequence[Row],
+    label_column: str,
+    value_columns: Sequence[str],
+    title: str = "",
+    width: int = 40,
+    max_value: Optional[float] = None,
+) -> str:
+    """Render ``rows`` as grouped horizontal bars.
+
+    ``label_column`` names the per-group label key; ``value_columns`` are
+    the series (one bar per series per group).  Bars are scaled against
+    ``max_value`` (default: the data maximum).
+    """
+    rows = [row for row in rows if label_column in row]
+    if not rows:
+        return title
+    values: List[float] = []
+    for row in rows:
+        for column in value_columns:
+            value = row.get(column)
+            if isinstance(value, (int, float)):
+                values.append(float(value))
+    peak = max_value if max_value is not None else (max(values) if values else 1.0)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(str(row[label_column])) for row in rows)
+    series_width = max(len(str(column)) for column in value_columns)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in rows:
+        label = str(row[label_column])
+        for index, column in enumerate(value_columns):
+            value = row.get(column)
+            if not isinstance(value, (int, float)):
+                continue
+            filled = int(round(width * float(value) / peak))
+            filled = max(0, min(width, filled))
+            bar = "#" * filled + " " * (width - filled)
+            shown_label = label if index == 0 else ""
+            lines.append(
+                f"{shown_label:<{label_width}}  {column:<{series_width}} "
+                f"|{bar}| {float(value):.3f}"
+            )
+    return "\n".join(lines)
+
+
+def render_figure(
+    rows: Sequence[Row],
+    title: str,
+    label_column: str,
+    value_columns: Sequence[str],
+) -> str:
+    """Numeric table followed by the bar-chart rendering of the same data."""
+    from .figures import format_rows
+
+    table = format_rows(list(rows), title)
+    chart = render_bar_chart(rows, label_column, value_columns)
+    return f"{table}\n\n{chart}"

@@ -1,0 +1,122 @@
+"""Benchmark runner: compile and simulate kernels under each configuration.
+
+One :class:`KernelRun` captures everything the paper's evaluation plots
+need for one (kernel, configuration) pair: simulated cycles, vectorization
+statistics and compile time.  ``run_kernel_matrix`` adds the correctness
+cross-check: every configuration must produce the same output buffers as
+O3 (bit-exact for integer kernels, ULP-close for float kernels where
+fast-math reassociation legally perturbs rounding).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..kernels.suite import Kernel
+from ..machine.targets import DEFAULT_TARGET, TargetMachine
+from ..sim.executor import simulate
+from ..vectorizer.pipeline import compile_module
+from ..vectorizer.slp import ALL_CONFIGS, O3_CONFIG, SLPConfig
+
+DEFAULT_SEED = 20190216  # CGO 2019 conference date
+
+
+@dataclass
+class KernelRun:
+    """Result of one kernel under one configuration."""
+
+    kernel: str
+    config: str
+    cycles: float
+    instructions: int
+    vectorized_graphs: int
+    attempted_graphs: int
+    node_count: int
+    aggregate_node_size: int
+    average_node_size: float
+    compile_seconds: float
+    outputs: Dict[str, List]
+    correct: Optional[bool] = None  # vs the O3 oracle; None until compared
+
+
+def outputs_match(kernel: Kernel, got: Dict[str, List], want: Dict[str, List]) -> bool:
+    """Compare output buffers under the kernel's exactness contract."""
+    for name in kernel.output_globals:
+        a, b = got[name], want[name]
+        if len(a) != len(b):
+            return False
+        if kernel.check_exact:
+            if a != b:
+                return False
+        else:
+            for x, y in zip(a, b):
+                if math.isnan(x) and math.isnan(y):
+                    continue
+                if not math.isclose(x, y, rel_tol=1e-9, abs_tol=1e-9):
+                    return False
+    return True
+
+
+def run_kernel_config(
+    kernel: Kernel,
+    config: SLPConfig,
+    target: TargetMachine = DEFAULT_TARGET,
+    seed: int = DEFAULT_SEED,
+) -> KernelRun:
+    """Compile ``kernel`` under ``config`` and simulate one invocation."""
+    inputs = kernel.make_inputs(random.Random(seed))
+    compiled = compile_module(kernel.build(), config, target)
+    result = simulate(
+        compiled.module,
+        kernel.function,
+        target,
+        [kernel.trip_count],
+        inputs=inputs,
+    )
+    report = compiled.report
+    return KernelRun(
+        kernel=kernel.name,
+        config=config.name,
+        cycles=result.cycles,
+        instructions=result.instructions,
+        vectorized_graphs=len(report.vectorized_graphs()),
+        attempted_graphs=len(report.all_graphs()),
+        node_count=report.node_count(vectorized_only=True),
+        aggregate_node_size=report.aggregate_node_size(),
+        average_node_size=report.average_node_size(),
+        compile_seconds=compiled.compile_seconds,
+        outputs={name: result.globals_after[name] for name in kernel.output_globals},
+    )
+
+
+def run_kernel_matrix(
+    kernel: Kernel,
+    configs: Sequence[SLPConfig] = ALL_CONFIGS,
+    target: TargetMachine = DEFAULT_TARGET,
+    seed: int = DEFAULT_SEED,
+) -> Dict[str, KernelRun]:
+    """Run ``kernel`` under every configuration; verify against O3.
+
+    The returned dict is keyed by configuration name and always includes
+    an O3 entry (added if absent) because it is the correctness oracle and
+    the speedup baseline.
+    """
+    configs = list(configs)
+    if not any(c.name == O3_CONFIG.name for c in configs):
+        configs.insert(0, O3_CONFIG)
+    runs = {
+        config.name: run_kernel_config(kernel, config, target, seed)
+        for config in configs
+    }
+    oracle = runs[O3_CONFIG.name]
+    for run in runs.values():
+        run.correct = outputs_match(kernel, run.outputs, oracle.outputs)
+    return runs
+
+
+def speedup_over(runs: Dict[str, KernelRun], config: str, baseline: str = "O3") -> float:
+    """Speedup of ``config`` relative to ``baseline`` (>1 means faster)."""
+    return runs[baseline].cycles / runs[config].cycles

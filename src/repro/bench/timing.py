@@ -1,0 +1,48 @@
+"""Compilation-time measurement (Figure 11's protocol).
+
+The paper measures wall compilation time for each kernel under each
+configuration, reporting the mean of 10 runs after a warm-up.  Here
+"compilation" is the full pipeline run: module clone, vectorizer, DCE and
+verification — the analogue of invoking clang on a kernel.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Sequence
+
+from ..kernels.suite import Kernel
+from ..machine.targets import DEFAULT_TARGET, TargetMachine
+from ..sim.stats import RunStats, measure
+from ..vectorizer.pipeline import compile_module
+from ..vectorizer.slp import LSLP_CONFIG, O3_CONFIG, SLPConfig, SNSLP_CONFIG
+
+TIMED_CONFIGS = (O3_CONFIG, LSLP_CONFIG, SNSLP_CONFIG)
+
+
+def compile_once_seconds(
+    kernel: Kernel, config: SLPConfig, target: TargetMachine
+) -> float:
+    """Wall seconds for one full compilation of ``kernel``."""
+    module = kernel.build()
+    start = time.perf_counter()
+    compile_module(module, config, target)
+    return time.perf_counter() - start
+
+
+def compile_time_stats(
+    kernel: Kernel,
+    target: TargetMachine = DEFAULT_TARGET,
+    configs: Sequence[SLPConfig] = TIMED_CONFIGS,
+    runs: int = 10,
+    warmup: int = 1,
+) -> Dict[str, RunStats]:
+    """Mean/stddev compile time per configuration (paper protocol)."""
+    return {
+        config.name: measure(
+            lambda config=config: compile_once_seconds(kernel, config, target),
+            runs=runs,
+            warmup=warmup,
+        )
+        for config in configs
+    }

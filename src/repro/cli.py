@@ -1,0 +1,261 @@
+"""Command-line driver: the repro's ``clang`` equivalent.
+
+Compiles kernel-language source files, optionally vectorizing, printing
+IR, executing on the simulator and comparing configurations::
+
+    python -m repro compile kernel.sn --config sn-slp --emit-ir
+    python -m repro run kernel.sn --kernel fig3 --n 512
+    python -m repro compare kernel.sn --kernel fig3 --n 512
+    python -m repro report kernel.sn --config sn-slp
+
+``compile`` prints the (vectorized) IR; ``run`` executes one kernel and
+dumps the output buffers; ``compare`` runs every configuration on the same
+random inputs and reports speedups + correctness; ``report`` shows the SLP
+graphs the vectorizer built.  Global buffers are seeded deterministically
+from ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .frontend import compile_source
+from .ir import FloatType, Module, print_module
+from .machine import DEFAULT_TARGET, target_named
+from .sim import simulate
+from .vectorizer import ALL_CONFIGS, compile_module, config_named
+
+
+def _load_module(path: str) -> Module:
+    """Load a module from kernel-language source (default) or textual IR.
+
+    Files ending in ``.ir`` are parsed as textual IR (see docs/IR.md);
+    anything else goes through the mini-C frontend.
+    """
+    import os
+    import re
+
+    with open(path) as handle:
+        source = handle.read()
+    if path.endswith(".ir"):
+        from .ir import parse_module, verify_module
+
+        module = parse_module(source)
+        verify_module(module)
+        return module
+    # module names must be identifiers (they round-trip through the
+    # textual IR), so derive one from the file's base name
+    stem = os.path.splitext(os.path.basename(path))[0]
+    name = re.sub(r"[^A-Za-z0-9_]", "_", stem) or "kernelmod"
+    if not name[0].isalpha() and name[0] != "_":
+        name = f"m_{name}"
+    return compile_source(source, module_name=name)
+
+
+def _pick_kernel(module: Module, name: Optional[str]) -> str:
+    if name is not None:
+        module.function(name)  # raises KeyError with a useful message
+        return name
+    names = list(module.functions)
+    if len(names) != 1:
+        raise SystemExit(
+            f"module defines kernels {names}; pick one with --kernel"
+        )
+    return names[0]
+
+
+def _seed_inputs(module: Module, seed: int) -> Dict[str, List]:
+    """Deterministic random contents for every global buffer."""
+    rng = random.Random(seed)
+    inputs: Dict[str, List] = {}
+    for name, buffer in module.globals.items():
+        if isinstance(buffer.element, FloatType):
+            inputs[name] = [rng.uniform(-4.0, 4.0) for _ in range(buffer.count)]
+        else:
+            inputs[name] = [rng.randint(-100, 100) for _ in range(buffer.count)]
+    return inputs
+
+
+def _values_close(a, b, is_float: bool) -> bool:
+    import math
+
+    if not is_float:
+        return a == b
+    if math.isnan(a) and math.isnan(b):
+        return True
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    module = _load_module(args.source)
+    config = config_named(args.config)
+    target = target_named(args.target)
+    result = compile_module(module, config, target, unroll_factor=args.unroll)
+    print(
+        f"; compiled {args.source} with {config.name} for {target.name} "
+        f"in {result.compile_seconds * 1000:.2f} ms",
+        file=sys.stderr,
+    )
+    graphs = result.report.all_graphs()
+    vectorized = [g for g in graphs if g.vectorized]
+    print(
+        f"; SLP graphs: {len(graphs)} attempted, {len(vectorized)} vectorized",
+        file=sys.stderr,
+    )
+    if args.emit_ir:
+        print(print_module(result.module), end="")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    module = _load_module(args.source)
+    kernel = _pick_kernel(module, args.kernel)
+    config = config_named(args.config)
+    target = target_named(args.target)
+    compiled = compile_module(module, config, target, unroll_factor=args.unroll)
+    inputs = _seed_inputs(module, args.seed)
+    result = simulate(compiled.module, kernel, target, [args.n], inputs=inputs)
+    print(f"config:       {config.name}")
+    print(f"cycles:       {result.cycles:.1f}")
+    print(f"instructions: {result.instructions}")
+    for name in sorted(result.globals_after):
+        values = result.globals_after[name][: args.show]
+        rendered = ", ".join(
+            f"{v:.6g}" if isinstance(v, float) else str(v) for v in values
+        )
+        print(f"@{name}[:{args.show}] = [{rendered}]")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    module = _load_module(args.source)
+    kernel = _pick_kernel(module, args.kernel)
+    target = target_named(args.target)
+    inputs = _seed_inputs(module, args.seed)
+    baseline = None
+    exit_code = 0
+    print(f"{'config':8s} {'cycles':>12s} {'speedup':>8s} {'vectorized':>11s} {'correct':>8s}")
+    for config in ALL_CONFIGS:
+        compiled = compile_module(
+            module, config, target, unroll_factor=args.unroll
+        )
+        result = simulate(compiled.module, kernel, target, [args.n], inputs=inputs)
+        if baseline is None:
+            baseline = result
+        correct = True
+        for name, values in result.globals_after.items():
+            is_float = isinstance(module.globals[name].element, FloatType)
+            for x, y in zip(values, baseline.globals_after[name]):
+                if not _values_close(x, y, is_float):
+                    correct = False
+                    break
+        if not correct:
+            exit_code = 1
+        print(
+            f"{config.name:8s} {result.cycles:12.1f} "
+            f"{baseline.cycles / result.cycles:8.2f} "
+            f"{len(compiled.report.vectorized_graphs()):11d} "
+            f"{str(correct):>8s}"
+        )
+    return exit_code
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    module = _load_module(args.source)
+    config = config_named(args.config)
+    target = target_named(args.target)
+    compiled = compile_module(module, config, target, unroll_factor=args.unroll)
+    print(compiled.report.summary())
+    missed = compiled.report.missed_reasons()
+    if missed:
+        print("missed-vectorization reasons (gather nodes in failed graphs):")
+        for reason, count in missed.items():
+            print(f"  {count:3d}x {reason}")
+    print()
+    for graph in compiled.report.all_graphs():
+        verdict = "vectorized" if graph.vectorized else "not profitable"
+        print(f"[{graph.kind}] {verdict} (cost {graph.cost:+.1f})")
+        print(graph.dump)
+        for record in graph.supernodes:
+            moves = ""
+            if record.leaf_swaps or record.trunk_swaps:
+                moves = (
+                    f", applied {record.leaf_swaps} leaf swap(s) + "
+                    f"{record.trunk_swaps} trunk swap(s)"
+                )
+            print(
+                f"  {record.kind}-node: {record.lanes} lanes x {record.size} "
+                f"trunks{' (inverse ops)' if record.contains_inverse else ''}"
+                f"{moves}"
+            )
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Super-Node SLP reproduction: compile and run kernels",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, with_config: bool = True) -> None:
+        p.add_argument("source", help="kernel-language source file (or textual IR when named *.ir)")
+        if with_config:
+            p.add_argument(
+                "--config",
+                default="SN-SLP",
+                help="vectorizer configuration: O3, SLP, LSLP, SN-SLP",
+            )
+        p.add_argument(
+            "--target",
+            default=DEFAULT_TARGET.name,
+            help="target machine (skylake-like, sse4-like, no-addsub, scalar)",
+        )
+        p.add_argument(
+            "--unroll",
+            type=int,
+            default=0,
+            metavar="U",
+            help="unroll canonical loops by U before vectorizing",
+        )
+
+    p_compile = sub.add_parser("compile", help="compile and optionally print IR")
+    common(p_compile)
+    p_compile.add_argument("--emit-ir", action="store_true", help="print textual IR")
+    p_compile.set_defaults(fn=cmd_compile)
+
+    p_run = sub.add_parser("run", help="compile and execute one kernel")
+    common(p_run)
+    p_run.add_argument("--kernel", help="kernel name (default: the only one)")
+    p_run.add_argument("--n", type=int, default=64, help="trip-count argument")
+    p_run.add_argument("--seed", type=int, default=0, help="input seed")
+    p_run.add_argument("--show", type=int, default=8, help="buffer elements to print")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_compare = sub.add_parser(
+        "compare", help="run all configurations; verify and report speedups"
+    )
+    common(p_compare, with_config=False)
+    p_compare.add_argument("--kernel", help="kernel name (default: the only one)")
+    p_compare.add_argument("--n", type=int, default=64)
+    p_compare.add_argument("--seed", type=int, default=0)
+    p_compare.set_defaults(fn=cmd_compare)
+
+    p_report = sub.add_parser("report", help="show the vectorizer's SLP graphs")
+    common(p_report)
+    p_report.set_defaults(fn=cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Mini-C kernel language frontend: lexer, parser, sema, lowering."""
+
+from .errors import (
+    FrontendError,
+    LexError,
+    SemanticError,
+    SourceLocation,
+    SyntaxErrorKL,
+)
+from .lexer import Token, tokenize
+from .parser import parse_source
+from .sema import SemaResult, analyze
+from .lower import compile_source, lower_program
+
+__all__ = [
+    "FrontendError",
+    "LexError",
+    "SyntaxErrorKL",
+    "SemanticError",
+    "SourceLocation",
+    "Token",
+    "tokenize",
+    "parse_source",
+    "analyze",
+    "SemaResult",
+    "lower_program",
+    "compile_source",
+]

@@ -1,0 +1,43 @@
+"""Frontend diagnostics."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SourceLocation:
+    """Line/column position in kernel source."""
+
+    __slots__ = ("line", "column")
+
+    def __init__(self, line: int, column: int) -> None:
+        self.line = line
+        self.column = column
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SourceLocation({self.line}, {self.column})"
+
+
+class FrontendError(Exception):
+    """Base class for all frontend diagnostics."""
+
+    def __init__(self, message: str, location: Optional[SourceLocation] = None) -> None:
+        if location is not None:
+            message = f"{location}: {message}"
+        super().__init__(message)
+        self.location = location
+
+
+class LexError(FrontendError):
+    """Malformed token."""
+
+
+class SyntaxErrorKL(FrontendError):
+    """Parse error (named to avoid shadowing the builtin SyntaxError)."""
+
+
+class SemanticError(FrontendError):
+    """Type or binding error."""

@@ -1,0 +1,83 @@
+"""Lexer for the kernel language.
+
+The kernel language is the C subset the paper's examples are written in:
+global array declarations, one induction-variable ``for`` loop per kernel,
+and straight-line arithmetic assignments over array elements.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .errors import LexError, SourceLocation
+
+KEYWORDS = frozenset(
+    {
+        "kernel",
+        "for",
+        "double",
+        "float",
+        "long",
+        "int",
+        "nofastmath",
+    }
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t\r]+)
+  | (?P<newline>\n)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<float>\d+\.\d*(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>\+=|-=|\*=|/=|==|!=|<=|>=|[-+*/=<>;,(){}\[\]?:])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'int', 'float', 'ident', 'keyword', 'op', 'eof'
+    text: str
+    location: SourceLocation
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind}, {self.text!r}, {self.location})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split kernel-language source into tokens (comments stripped)."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            location = SourceLocation(line, pos - line_start + 1)
+            raise LexError(f"unexpected character {source[pos]!r}", location)
+        kind = match.lastgroup
+        text = match.group()
+        location = SourceLocation(line, pos - line_start + 1)
+        if kind == "newline":
+            line += 1
+            line_start = match.end()
+        elif kind == "comment":
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = match.start() + text.rfind("\n") + 1
+        elif kind == "ws":
+            pass
+        elif kind == "ident" and text in KEYWORDS:
+            tokens.append(Token("keyword", text, location))
+        else:
+            assert kind is not None
+            tokens.append(Token(kind, text, location))
+        pos = match.end()
+    tokens.append(Token("eof", "", SourceLocation(line, pos - line_start + 1)))
+    return tokens

@@ -1,0 +1,13 @@
+"""Reference interpreter and flat memory model for the repro IR."""
+
+from .memory import Memory, MemoryError_
+from .interpreter import Interpreter, InterpreterError, TrapError, run_kernel
+
+__all__ = [
+    "Memory",
+    "MemoryError_",
+    "Interpreter",
+    "InterpreterError",
+    "TrapError",
+    "run_kernel",
+]

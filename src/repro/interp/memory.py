@@ -1,0 +1,142 @@
+"""Flat byte-addressed memory for the interpreter.
+
+Pointers in the interpreter are plain integer byte addresses into one
+``bytearray``.  Global buffers are laid out at load time with natural
+alignment; typed element access goes through :mod:`struct` codes so f32
+loads/stores round to binary32 exactly like real hardware.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Sequence
+
+from ..ir.types import FloatType, IntType, Type, VectorType
+from ..ir.values import GlobalBuffer
+
+
+class MemoryError_(Exception):
+    """Out-of-bounds or misaligned access (named to avoid the builtin)."""
+
+
+_INT_CODES = {8: "b", 16: "h", 32: "i", 64: "q"}
+_FLOAT_CODES = {32: "f", 64: "d"}
+
+
+def _scalar_code(type_: Type) -> str:
+    if isinstance(type_, IntType):
+        # i1 is stored in a full byte.
+        return _INT_CODES[max(type_.bits, 8)]
+    if isinstance(type_, FloatType):
+        return _FLOAT_CODES[type_.bits]
+    raise TypeError(f"no storage code for {type_}")
+
+
+def _scalar_size(type_: Type) -> int:
+    return max(type_.byte_width, 1)
+
+
+class Memory:
+    """Flat memory with bump allocation and typed accessors."""
+
+    def __init__(self, size: int = 1 << 20) -> None:
+        self._data = bytearray(size)
+        self._next = 16  # keep address 0 invalid (null)
+        self._buffers: Dict[str, int] = {}
+        self._buffer_objects: Dict[str, GlobalBuffer] = {}
+
+    # -- allocation --------------------------------------------------------------
+
+    def allocate(self, size: int, align: int = 16) -> int:
+        addr = (self._next + align - 1) & ~(align - 1)
+        if addr + size > len(self._data):
+            raise MemoryError_(
+                f"out of memory: need {size} bytes at {addr}, "
+                f"capacity {len(self._data)}"
+            )
+        self._next = addr + size
+        return addr
+
+    def bind_global(self, buffer: GlobalBuffer) -> int:
+        """Allocate storage for a global buffer and remember its address."""
+        if buffer.name in self._buffers:
+            return self._buffers[buffer.name]
+        size = _scalar_size(buffer.element) * buffer.count
+        addr = self.allocate(size)
+        self._buffers[buffer.name] = addr
+        self._buffer_objects[buffer.name] = buffer
+        if buffer.initializer is not None:
+            self.write_array(addr, buffer.element, buffer.initializer)
+        return addr
+
+    def address_of_global(self, buffer: GlobalBuffer) -> int:
+        try:
+            return self._buffers[buffer.name]
+        except KeyError:
+            raise MemoryError_(f"global @{buffer.name} not bound") from None
+
+    # -- scalar access -----------------------------------------------------------
+
+    def load_scalar(self, addr: int, type_: Type):
+        size = _scalar_size(type_)
+        self._check(addr, size)
+        raw = struct.unpack_from(_scalar_code(type_), self._data, addr)[0]
+        if isinstance(type_, IntType):
+            return type_.wrap(raw)
+        return raw
+
+    def store_scalar(self, addr: int, type_: Type, value) -> None:
+        size = _scalar_size(type_)
+        self._check(addr, size)
+        if isinstance(type_, IntType):
+            value = type_.wrap(int(value))
+        struct.pack_into(_scalar_code(type_), self._data, addr, value)
+
+    # -- vector access -----------------------------------------------------------
+
+    def load_value(self, addr: int, type_: Type):
+        """Load a scalar or vector value of ``type_`` starting at ``addr``."""
+        if isinstance(type_, VectorType):
+            stride = _scalar_size(type_.element)
+            return tuple(
+                self.load_scalar(addr + i * stride, type_.element)
+                for i in range(type_.count)
+            )
+        return self.load_scalar(addr, type_)
+
+    def store_value(self, addr: int, type_: Type, value) -> None:
+        if isinstance(type_, VectorType):
+            stride = _scalar_size(type_.element)
+            for i, elem in enumerate(value):
+                self.store_scalar(addr + i * stride, type_.element, elem)
+            return
+        self.store_scalar(addr, type_, value)
+
+    # -- array helpers (test/workload convenience) ----------------------------------
+
+    def write_array(self, addr: int, element: Type, values: Sequence) -> None:
+        stride = _scalar_size(element)
+        for i, value in enumerate(values):
+            self.store_scalar(addr + i * stride, element, value)
+
+    def read_array(self, addr: int, element: Type, count: int) -> List:
+        stride = _scalar_size(element)
+        return [self.load_scalar(addr + i * stride, element) for i in range(count)]
+
+    def write_global(self, name: str, values: Sequence) -> None:
+        buffer = self._buffer_objects[name]
+        if len(values) > buffer.count:
+            raise MemoryError_(
+                f"@{name} holds {buffer.count} elements, got {len(values)}"
+            )
+        self.write_array(self._buffers[name], buffer.element, values)
+
+    def read_global(self, name: str) -> List:
+        buffer = self._buffer_objects[name]
+        return self.read_array(self._buffers[name], buffer.element, buffer.count)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _check(self, addr: int, size: int) -> None:
+        if addr <= 0 or addr + size > len(self._data):
+            raise MemoryError_(f"access of {size} bytes at {addr} out of bounds")

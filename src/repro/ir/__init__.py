@@ -1,0 +1,95 @@
+"""The repro IR: a typed, SSA-style intermediate representation.
+
+This package provides everything the vectorizer and interpreter need:
+types, values with exact use-def chains, instructions, basic blocks,
+functions, modules, an IRBuilder, a textual printer/parser pair, a
+verifier, address analysis and DCE.
+"""
+
+from .types import (
+    F32,
+    F64,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    VOID,
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+    VectorType,
+    VoidType,
+    parse_type,
+    pointer_to,
+    vector_of,
+)
+from .values import (
+    Argument,
+    Constant,
+    GlobalBuffer,
+    Use,
+    User,
+    Value,
+)
+from .instructions import (
+    AltBinaryInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CmpInst,
+    CmpPredicate,
+    CondBranchInst,
+    ExtractElementInst,
+    GepInst,
+    InsertElementInst,
+    Instruction,
+    LoadInst,
+    Opcode,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    ShuffleVectorInst,
+    StoreInst,
+    base_opcode,
+    inverse_opcode,
+    is_associative,
+    is_commutative,
+    same_operator_family,
+)
+from .block import BasicBlock
+from .function import Function
+from .module import Module
+from .builder import IRBuilder
+from .printer import format_instruction, print_function, print_module
+from .parser import ParseError, parse_module
+from .verifier import VerificationError, verify_function, verify_module
+from .analysis import AddressInfo, address_of, decompose_pointer, may_alias
+from .folding import try_fold
+from .dce import eliminate_dead_code, eliminate_dead_code_in_module
+
+__all__ = [
+    # types
+    "Type", "VoidType", "IntType", "FloatType", "VectorType", "PointerType",
+    "VOID", "I1", "I8", "I16", "I32", "I64", "F32", "F64",
+    "vector_of", "pointer_to", "parse_type",
+    # values
+    "Value", "User", "Use", "Constant", "Argument", "GlobalBuffer",
+    # instructions
+    "Opcode", "Instruction", "BinaryInst", "AltBinaryInst", "LoadInst",
+    "StoreInst", "GepInst", "InsertElementInst", "ExtractElementInst",
+    "ShuffleVectorInst", "CmpInst", "CmpPredicate", "SelectInst", "CastInst",
+    "CallInst", "BranchInst", "CondBranchInst", "RetInst", "PhiInst",
+    "is_commutative", "is_associative", "inverse_opcode", "base_opcode",
+    "same_operator_family",
+    # containers
+    "BasicBlock", "Function", "Module", "IRBuilder",
+    # services
+    "format_instruction", "print_function", "print_module",
+    "parse_module", "ParseError",
+    "verify_function", "verify_module", "VerificationError",
+    "AddressInfo", "address_of", "decompose_pointer", "may_alias",
+    "try_fold", "eliminate_dead_code", "eliminate_dead_code_in_module",
+]

@@ -1,0 +1,85 @@
+"""Basic blocks: ordered instruction containers with insertion API."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from .instructions import Instruction, PhiInst
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions ending in a terminator.
+
+    The block owns instruction ordering; all position queries the scheduler
+    and the vectorizer's legality checks need (``index_of``, ``comes_before``)
+    are answered here.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.instructions: List[Instruction] = []
+        self.parent = None  # type: Optional["Function"]
+
+    # -- insertion / removal -------------------------------------------------
+
+    def append(self, inst: Instruction) -> Instruction:
+        if inst.parent is not None:
+            raise ValueError(f"instruction already belongs to block {inst.parent.name}")
+        self.instructions.append(inst)
+        inst.parent = self
+        return inst
+
+    def insert_at(self, index: int, inst: Instruction) -> Instruction:
+        if inst.parent is not None:
+            raise ValueError(f"instruction already belongs to block {inst.parent.name}")
+        self.instructions.insert(index, inst)
+        inst.parent = self
+        return inst
+
+    def insert_before(self, anchor: Instruction, inst: Instruction) -> Instruction:
+        return self.insert_at(self.index_of(anchor), inst)
+
+    def insert_after(self, anchor: Instruction, inst: Instruction) -> Instruction:
+        return self.insert_at(self.index_of(anchor) + 1, inst)
+
+    def remove(self, inst: Instruction) -> None:
+        self.instructions.remove(inst)
+        inst.parent = None
+
+    # -- queries ---------------------------------------------------------------
+
+    def index_of(self, inst: Instruction) -> int:
+        # Identity search: instructions never compare equal structurally.
+        for i, candidate in enumerate(self.instructions):
+            if candidate is inst:
+                return i
+        raise ValueError(f"instruction not in block {self.name}")
+
+    def comes_before(self, a: Instruction, b: Instruction) -> bool:
+        """True when ``a`` appears strictly before ``b`` in this block."""
+        return self.index_of(a) < self.index_of(b)
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    def successors(self) -> List["BasicBlock"]:
+        term = self.terminator
+        return term.successors() if term is not None else []
+
+    def phis(self) -> List[PhiInst]:
+        return [i for i in self.instructions if isinstance(i, PhiInst)]
+
+    def non_phi_instructions(self) -> List[Instruction]:
+        return [i for i in self.instructions if not isinstance(i, PhiInst)]
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<BasicBlock {self.name}: {len(self.instructions)} insts>"

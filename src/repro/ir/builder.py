@@ -1,0 +1,221 @@
+"""IRBuilder: the ergonomic construction API for IR.
+
+The builder tracks an insertion point (a block, appending at its end, or a
+position before a given instruction) and exposes one method per
+instruction.  Kernels in :mod:`repro.kernels` and the frontend lowering in
+:mod:`repro.frontend.lower` are written against this API.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from .block import BasicBlock
+from .instructions import (
+    AltBinaryInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CmpInst,
+    CmpPredicate,
+    CondBranchInst,
+    ExtractElementInst,
+    GepInst,
+    Instruction,
+    InsertElementInst,
+    LoadInst,
+    Opcode,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    ShuffleVectorInst,
+    StoreInst,
+)
+from .types import FloatType, I32, I64, IntType, Type
+from .values import Constant, Value
+
+
+class IRBuilder:
+    """Builds instructions at a movable insertion point."""
+
+    def __init__(self, block: Optional[BasicBlock] = None) -> None:
+        self._block = block
+        self._before: Optional[Instruction] = None
+
+    # -- insertion point -----------------------------------------------------
+
+    @property
+    def block(self) -> BasicBlock:
+        if self._block is None:
+            raise ValueError("builder has no insertion point")
+        return self._block
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self._block = block
+        self._before = None
+
+    def position_before(self, inst: Instruction) -> None:
+        if inst.parent is None:
+            raise ValueError("cannot position before a detached instruction")
+        self._block = inst.parent
+        self._before = inst
+
+    def insert(self, inst: Instruction) -> Instruction:
+        if self._before is not None:
+            self.block.insert_before(self._before, inst)
+        else:
+            self.block.append(inst)
+        return inst
+
+    # -- constants -------------------------------------------------------------
+
+    @staticmethod
+    def const(type_: Type, value) -> Constant:
+        return Constant(type_, value)
+
+    @staticmethod
+    def const_i32(value: int) -> Constant:
+        return Constant(I32, value)
+
+    @staticmethod
+    def const_i64(value: int) -> Constant:
+        return Constant(I64, value)
+
+    # -- binary arithmetic --------------------------------------------------------
+
+    def binop(self, opcode: Opcode, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.insert(BinaryInst(opcode, lhs, rhs, name))
+
+    def add(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binop(Opcode.ADD, lhs, rhs, name)
+
+    def sub(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binop(Opcode.SUB, lhs, rhs, name)
+
+    def mul(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binop(Opcode.MUL, lhs, rhs, name)
+
+    def sdiv(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binop(Opcode.SDIV, lhs, rhs, name)
+
+    def fadd(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binop(Opcode.FADD, lhs, rhs, name)
+
+    def fsub(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binop(Opcode.FSUB, lhs, rhs, name)
+
+    def fmul(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binop(Opcode.FMUL, lhs, rhs, name)
+
+    def fdiv(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binop(Opcode.FDIV, lhs, rhs, name)
+
+    def and_(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binop(Opcode.AND, lhs, rhs, name)
+
+    def or_(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binop(Opcode.OR, lhs, rhs, name)
+
+    def xor(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binop(Opcode.XOR, lhs, rhs, name)
+
+    def shl(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binop(Opcode.SHL, lhs, rhs, name)
+
+    def ashr(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binop(Opcode.ASHR, lhs, rhs, name)
+
+    def altbinop(
+        self,
+        lane_opcodes: Sequence[Opcode],
+        lhs: Value,
+        rhs: Value,
+        name: str = "",
+    ) -> AltBinaryInst:
+        return self.insert(AltBinaryInst(lane_opcodes, lhs, rhs, name))
+
+    # -- memory -----------------------------------------------------------------
+
+    def load(self, pointer: Value, type_: Optional[Type] = None, name: str = "") -> LoadInst:
+        return self.insert(LoadInst(pointer, type_, name))
+
+    def store(self, value: Value, pointer: Value) -> StoreInst:
+        return self.insert(StoreInst(value, pointer))
+
+    def gep(self, base: Value, index: Union[Value, int], name: str = "") -> GepInst:
+        if isinstance(index, int):
+            index = Constant(I64, index)
+        return self.insert(GepInst(base, index, name))
+
+    # -- vector data movement ------------------------------------------------------
+
+    def insertelement(
+        self, vector: Value, scalar: Value, lane: Union[Value, int], name: str = ""
+    ) -> InsertElementInst:
+        if isinstance(lane, int):
+            lane = Constant(I32, lane)
+        return self.insert(InsertElementInst(vector, scalar, lane, name))
+
+    def extractelement(
+        self, vector: Value, lane: Union[Value, int], name: str = ""
+    ) -> ExtractElementInst:
+        if isinstance(lane, int):
+            lane = Constant(I32, lane)
+        return self.insert(ExtractElementInst(vector, lane, name))
+
+    def shufflevector(
+        self, a: Value, b: Value, mask: Sequence[int], name: str = ""
+    ) -> ShuffleVectorInst:
+        return self.insert(ShuffleVectorInst(a, b, mask, name))
+
+    # -- comparisons / select -----------------------------------------------------
+
+    def icmp(
+        self, predicate: CmpPredicate, lhs: Value, rhs: Value, name: str = ""
+    ) -> CmpInst:
+        return self.insert(CmpInst(Opcode.ICMP, predicate, lhs, rhs, name))
+
+    def fcmp(
+        self, predicate: CmpPredicate, lhs: Value, rhs: Value, name: str = ""
+    ) -> CmpInst:
+        return self.insert(CmpInst(Opcode.FCMP, predicate, lhs, rhs, name))
+
+    def select(self, cond: Value, a: Value, b: Value, name: str = "") -> SelectInst:
+        return self.insert(SelectInst(cond, a, b, name))
+
+    # -- casts -----------------------------------------------------------------------
+
+    def cast(self, opcode: Opcode, value: Value, to_type: Type, name: str = "") -> CastInst:
+        return self.insert(CastInst(opcode, value, to_type, name))
+
+    def sitofp(self, value: Value, to_type: FloatType, name: str = "") -> CastInst:
+        return self.cast(Opcode.SITOFP, value, to_type, name)
+
+    def fptosi(self, value: Value, to_type: IntType, name: str = "") -> CastInst:
+        return self.cast(Opcode.FPTOSI, value, to_type, name)
+
+    def sext(self, value: Value, to_type: IntType, name: str = "") -> CastInst:
+        return self.cast(Opcode.SEXT, value, to_type, name)
+
+    def trunc(self, value: Value, to_type: IntType, name: str = "") -> CastInst:
+        return self.cast(Opcode.TRUNC, value, to_type, name)
+
+    # -- calls ------------------------------------------------------------------------
+
+    def call(self, callee: str, args: Sequence[Value], name: str = "") -> CallInst:
+        return self.insert(CallInst(callee, args, name))
+
+    # -- control flow -------------------------------------------------------------------
+
+    def br(self, target: BasicBlock) -> BranchInst:
+        return self.insert(BranchInst(target))
+
+    def condbr(self, cond: Value, if_true: BasicBlock, if_false: BasicBlock) -> CondBranchInst:
+        return self.insert(CondBranchInst(cond, if_true, if_false))
+
+    def ret(self, value: Optional[Value] = None) -> RetInst:
+        return self.insert(RetInst(value))
+
+    def phi(self, type_: Type, name: str = "") -> PhiInst:
+        return self.insert(PhiInst(type_, name))

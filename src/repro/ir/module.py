@@ -1,0 +1,70 @@
+"""Modules: the top-level IR container (functions + global buffers)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .function import Function
+from .types import Type
+from .values import GlobalBuffer
+
+
+class Module:
+    """A compilation unit: named global array buffers and functions.
+
+    Global buffers model the C arrays of the paper's kernels (``long A[]``,
+    ``double B[]``...); the interpreter materializes them in its flat memory
+    at load time.
+    """
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, GlobalBuffer] = {}
+
+    # -- functions -------------------------------------------------------------
+
+    def add_function(self, function: Function) -> Function:
+        if function.name in self.functions:
+            raise ValueError(f"duplicate function name: {function.name}")
+        function.parent = self
+        self.functions[function.name] = function
+        return function
+
+    def function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise KeyError(f"no function named {name} in module {self.name}") from None
+
+    # -- globals ---------------------------------------------------------------
+
+    def add_global(
+        self,
+        name: str,
+        element: Type,
+        count: int,
+        initializer: Optional[Sequence] = None,
+    ) -> GlobalBuffer:
+        if name in self.globals:
+            raise ValueError(f"duplicate global name: {name}")
+        buffer = GlobalBuffer(name, element, count, initializer)
+        self.globals[name] = buffer
+        return buffer
+
+    def global_named(self, name: str) -> GlobalBuffer:
+        try:
+            return self.globals[name]
+        except KeyError:
+            raise KeyError(f"no global named {name} in module {self.name}") from None
+
+    # -- stats -------------------------------------------------------------------
+
+    def instruction_count(self) -> int:
+        return sum(f.instruction_count() for f in self.functions.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Module {self.name}: {len(self.functions)} functions, "
+            f"{len(self.globals)} globals>"
+        )

@@ -1,0 +1,240 @@
+"""Type system for the repro IR.
+
+The IR is strongly typed.  Every :class:`~repro.ir.values.Value` carries a
+type drawn from this small lattice:
+
+* :class:`VoidType` — the type of instructions that produce no value.
+* :class:`IntType` — fixed-width two's-complement integers (i1, i8, ... i64).
+* :class:`FloatType` — IEEE-754 binary32 / binary64 floats.
+* :class:`VectorType` — fixed-length vectors of a scalar element type.
+* :class:`PointerType` — a pointer to a (scalar or vector) element type.
+
+Types are interned: constructing ``IntType(32)`` twice returns the same
+object, so identity comparison (``is``) works and types are hashable and
+cheap to compare.  This mirrors how production compilers (LLVM) treat types
+as uniqued context objects.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Dict, Tuple
+
+
+class Type:
+    """Base class of all IR types.
+
+    Subclasses are interned value objects: equal types are identical
+    objects.  All types answer the small set of predicates the rest of the
+    compiler needs (``is_integer``, ``is_float``, ...) so client code never
+    has to use ``isinstance`` chains.
+    """
+
+    #: cache for interning, keyed by (class, args)
+    _cache: ClassVar[Dict[Tuple, "Type"]] = {}
+
+    def __new__(cls, *args):
+        key = (cls, args)
+        cached = Type._cache.get(key)
+        if cached is None:
+            cached = super().__new__(cls)
+            cached._init(*args)
+            Type._cache[key] = cached
+        return cached
+
+    def _init(self, *args) -> None:
+        """Subclass hook; runs once per interned instance."""
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.is_integer or self.is_float
+
+    @property
+    def is_vector(self) -> bool:
+        return isinstance(self, VectorType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    # -- size queries ------------------------------------------------------
+
+    @property
+    def bit_width(self) -> int:
+        """Total width in bits (0 for void, 64 for pointers)."""
+        raise NotImplementedError
+
+    @property
+    def byte_width(self) -> int:
+        return (self.bit_width + 7) // 8
+
+    def scalar_type(self) -> "Type":
+        """The element type for vectors; self for scalars."""
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self.__class__.__name__} {self}>"
+
+
+class VoidType(Type):
+    """The type of value-less instructions (stores, branches, ret void)."""
+
+    @property
+    def bit_width(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return "void"
+
+
+class IntType(Type):
+    """A fixed-width integer type (``i1``, ``i8``, ``i16``, ``i32``, ``i64``).
+
+    ``i1`` doubles as the boolean type produced by comparisons.
+    """
+
+    VALID_WIDTHS = (1, 8, 16, 32, 64)
+
+    def _init(self, bits: int) -> None:
+        if bits not in self.VALID_WIDTHS:
+            raise ValueError(f"unsupported integer width: {bits}")
+        self.bits = bits
+
+    @property
+    def bit_width(self) -> int:
+        return self.bits
+
+    def min_value(self) -> int:
+        return -(1 << (self.bits - 1)) if self.bits > 1 else 0
+
+    def max_value(self) -> int:
+        return (1 << (self.bits - 1)) - 1 if self.bits > 1 else 1
+
+    def wrap(self, value: int) -> int:
+        """Wrap ``value`` to this type's two's-complement range."""
+        mask = (1 << self.bits) - 1
+        value &= mask
+        if self.bits > 1 and value >= (1 << (self.bits - 1)):
+            value -= 1 << self.bits
+        return value
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+
+class FloatType(Type):
+    """An IEEE-754 floating point type (``f32`` or ``f64``)."""
+
+    VALID_WIDTHS = (32, 64)
+
+    def _init(self, bits: int) -> None:
+        if bits not in self.VALID_WIDTHS:
+            raise ValueError(f"unsupported float width: {bits}")
+        self.bits = bits
+
+    @property
+    def bit_width(self) -> int:
+        return self.bits
+
+    def __str__(self) -> str:
+        return f"f{self.bits}"
+
+
+class VectorType(Type):
+    """A fixed-length vector ``<N x elem>`` of a scalar element type."""
+
+    def _init(self, element: Type, count: int) -> None:
+        if not element.is_scalar:
+            raise ValueError(f"vector element must be scalar, got {element}")
+        if count < 2:
+            raise ValueError(f"vector length must be >= 2, got {count}")
+        self.element = element
+        self.count = count
+
+    @property
+    def bit_width(self) -> int:
+        return self.element.bit_width * self.count
+
+    def scalar_type(self) -> Type:
+        return self.element
+
+    def __str__(self) -> str:
+        return f"<{self.count} x {self.element}>"
+
+
+class PointerType(Type):
+    """A pointer to an element type.
+
+    Pointers are modelled as 64-bit byte addresses into the interpreter's
+    flat memory.  The pointee type gives load/store their value type and the
+    address analysis its element stride.
+    """
+
+    def _init(self, pointee: Type) -> None:
+        if pointee.is_void or pointee.is_pointer:
+            raise ValueError(f"unsupported pointee type: {pointee}")
+        self.pointee = pointee
+
+    @property
+    def bit_width(self) -> int:
+        return 64
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+# -- convenience singletons used pervasively -------------------------------
+
+VOID = VoidType()
+I1 = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+F32 = FloatType(32)
+F64 = FloatType(64)
+
+
+def vector_of(element: Type, count: int) -> VectorType:
+    """Build (or fetch the interned) vector type ``<count x element>``."""
+    return VectorType(element, count)
+
+
+def pointer_to(pointee: Type) -> PointerType:
+    """Build (or fetch the interned) pointer type ``pointee*``."""
+    return PointerType(pointee)
+
+
+def parse_type(text: str) -> Type:
+    """Parse a type from its textual form (inverse of ``str(type)``).
+
+    Accepts ``void``, ``iN``, ``fN``, ``<N x elem>`` and any of those with a
+    trailing ``*`` for pointers.
+    """
+    text = text.strip()
+    if text.endswith("*"):
+        return pointer_to(parse_type(text[:-1]))
+    if text == "void":
+        return VOID
+    if text.startswith("<") and text.endswith(">"):
+        inner = text[1:-1]
+        count_str, _, elem_str = inner.partition("x")
+        return vector_of(parse_type(elem_str), int(count_str.strip()))
+    if text.startswith("i"):
+        return IntType(int(text[1:]))
+    if text.startswith("f"):
+        return FloatType(int(text[1:]))
+    raise ValueError(f"cannot parse type: {text!r}")

@@ -1,0 +1,158 @@
+"""Structural and type verifier for the repro IR.
+
+Run after construction and after every transformation pass in tests; a
+verifier failure means a pass produced malformed IR.  Checks:
+
+* every block ends in exactly one terminator (and only the last
+  instruction is a terminator);
+* use-def bookkeeping is exact in both directions;
+* operands of each instruction are defined before use within a block, or
+  come from arguments/constants/globals/other (dominating) blocks — for the
+  reducible single-loop CFGs the kernels use, a simple RPO check suffices;
+* phis appear only at block starts and cover exactly the predecessors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .block import BasicBlock
+from .function import Function
+from .instructions import Instruction, PhiInst
+from .module import Module
+from .values import Argument, Constant, GlobalBuffer, User, Value
+
+
+class VerificationError(Exception):
+    """Raised when IR fails verification."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise VerificationError(message)
+
+
+def _predecessors(function: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in function.blocks}
+    for block in function.blocks:
+        for succ in block.successors():
+            _check(
+                succ in preds,
+                f"{function.name}: branch from {block.name} to foreign block "
+                f"{succ.name}",
+            )
+            preds[succ].append(block)
+    return preds
+
+
+def verify_function(function: Function) -> None:
+    _check(bool(function.blocks), f"function {function.name} has no blocks")
+    defined: Set[int] = set()
+    for arg in function.arguments:
+        defined.add(id(arg))
+
+    # Pass 1: structure, terminators, phi placement, use-list integrity.
+    for block in function.blocks:
+        _check(
+            block.terminator is not None,
+            f"{function.name}/{block.name}: missing terminator",
+        )
+        for i, inst in enumerate(block):
+            _check(
+                inst.parent is block,
+                f"{function.name}/{block.name}: instruction with stale parent",
+            )
+            if inst.is_terminator:
+                _check(
+                    i == len(block.instructions) - 1,
+                    f"{function.name}/{block.name}: terminator not last",
+                )
+            if isinstance(inst, PhiInst):
+                _check(
+                    all(
+                        isinstance(prev, PhiInst)
+                        for prev in block.instructions[:i]
+                    ),
+                    f"{function.name}/{block.name}: phi after non-phi",
+                )
+            for index, op in enumerate(inst.operands):
+                _check(
+                    any(
+                        use.user is inst and use.index == index
+                        for use in op.uses
+                    ),
+                    f"{function.name}/{block.name}: operand {index} of "
+                    f"{inst.opcode} missing its use record",
+                )
+            defined.add(id(inst))
+
+    # Pass 2: every operand must be a known kind of value defined somewhere
+    # in this function (or constant/global/argument).
+    for block in function.blocks:
+        for inst in block:
+            for op in inst.operands:
+                if isinstance(op, (Constant, GlobalBuffer)):
+                    continue
+                if isinstance(op, Argument):
+                    _check(
+                        op in function.arguments,
+                        f"{function.name}: foreign argument %{op.name}",
+                    )
+                    continue
+                _check(
+                    id(op) in defined,
+                    f"{function.name}/{block.name}: operand %{op.name} of "
+                    f"{inst.opcode} is not defined in this function",
+                )
+
+    # Pass 3: straight-line dominance within each block — a non-phi use of
+    # an instruction defined in the *same* block must come after the def.
+    for block in function.blocks:
+        position = {id(inst): i for i, inst in enumerate(block.instructions)}
+        for i, inst in enumerate(block):
+            if isinstance(inst, PhiInst):
+                continue
+            for op in inst.operands:
+                j = position.get(id(op))
+                if j is not None:
+                    _check(
+                        j < i,
+                        f"{function.name}/{block.name}: %{op.name} used before "
+                        f"definition",
+                    )
+
+    # Pass 4: phi edges match predecessors exactly.
+    preds = _predecessors(function)
+    for block in function.blocks:
+        for phi in block.phis():
+            incoming_blocks = list(phi.incoming_blocks)
+            _check(
+                len(incoming_blocks) == len(set(id(b) for b in incoming_blocks)),
+                f"{function.name}/{block.name}: duplicate phi predecessor",
+            )
+            expect = {id(b) for b in preds[block]}
+            got = {id(b) for b in incoming_blocks}
+            _check(
+                expect == got,
+                f"{function.name}/{block.name}: phi predecessors "
+                f"{sorted(b.name for b in incoming_blocks)} != CFG predecessors "
+                f"{sorted(b.name for b in preds[block])}",
+            )
+
+    # Pass 5: use lists point back at real operands.
+    for block in function.blocks:
+        for inst in block:
+            for use in inst.uses:
+                _check(
+                    isinstance(use.user, User)
+                    and use.index < use.user.num_operands
+                    and use.user.operand(use.index) is inst,
+                    f"{function.name}/{block.name}: stale use record on "
+                    f"%{inst.name}",
+                )
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in the module; raises VerificationError."""
+    for function in module.functions.values():
+        verify_function(function)

@@ -1,0 +1,617 @@
+"""SPEC-CPU2006-inspired kernels: the Table I equivalent.
+
+The paper extracted kernels from the six C/C++ SPEC CPU2006 benchmarks
+where Super-Node SLP activates (433.milc is named explicitly; the others
+are the C/C++ floating-point codes).  The extracted kernel bodies are not
+printed in the paper, so each kernel below is a synthetic equivalent of
+the *algebraic pattern* that makes SN-SLP activate in that benchmark:
+commutative-operator chains with inverse elements whose per-lane term
+orders differ.  Each docstring states the pattern and which configuration
+is expected to win.
+
+The suite deliberately spans the full outcome space:
+
+* kernels only SN-SLP vectorizes (leaf reorder, trunk reorder, fmul/fdiv);
+* a kernel LSLP already handles (commutative-only chains) — SN == LSLP;
+* a kernel everything vectorizes (plain isomorphic code) — all equal;
+* a kernel nothing may vectorize (loop-carried dependence) — all == O3.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..ir.builder import IRBuilder
+from ..ir.module import Module
+from ..ir.types import F64, I64
+from ..ir.values import Value
+from .suite import Kernel, register_kernel
+from .util import (
+    ArrayEnv,
+    finish_module,
+    make_loop_kernel,
+    random_floats,
+    random_ints,
+    random_nonzero_floats,
+)
+
+_LEN = 1024
+
+
+def _float_module(name: str, arrays: str, body, step: int) -> Module:
+    module = Module(name)
+    for array in arrays:
+        module.add_global(array, F64, _LEN)
+    make_loop_kernel(module, "kernel", body, step=step, fast_math=True)
+    return finish_module(module)
+
+
+def _float_inputs(arrays: str, nonzero: str = ""):
+    def make(rng: random.Random) -> Dict[str, List]:
+        data: Dict[str, List] = {}
+        for name in arrays:
+            if name in nonzero:
+                data[name] = random_nonzero_floats(rng, _LEN)
+            else:
+                data[name] = random_floats(rng, _LEN)
+        return data
+
+    return make
+
+
+# ---------------------------------------------------------------------------
+# 433.milc — SU(3) complex arithmetic
+# ---------------------------------------------------------------------------
+
+def _milc_su3_body(b: IRBuilder, i: Value, env: ArrayEnv) -> None:
+    """Complex multiply-accumulate, the su3 matrix-vector core of 433.milc.
+
+    The real lane subtracts the imaginary product; the imaginary lane adds
+    both.  The source interleaves the terms differently per lane, so the
+    lanes need the Super-Node's combined trunk+leaf reordering.
+
+    Lane 0 (re): ``C[i+0] = A[i+0]*B[i+0] - D[i+0]*E[i+0] + S[i+0]``
+    Lane 1 (im): ``C[i+1] = A[i+1]*B[i+1] + S[i+1] - D[i+1]*E[i+1]``
+    """
+    re = b.fadd(
+        b.fsub(
+            b.fmul(env.load("A", i, 0), env.load("B", i, 0)),
+            b.fmul(env.load("D", i, 0), env.load("E", i, 0)),
+        ),
+        env.load("S", i, 0),
+    )
+    env.store(re, "C", i, 0)
+    im = b.fsub(
+        b.fadd(
+            b.fmul(env.load("A", i, 1), env.load("B", i, 1)),
+            env.load("S", i, 1),
+        ),
+        b.fmul(env.load("D", i, 1), env.load("E", i, 1)),
+    )
+    env.store(im, "C", i, 1)
+
+
+register_kernel(
+    Kernel(
+        name="milc-su3-cmul",
+        description="complex multiply-accumulate (su3 core)",
+        origin="433.milc (SPEC CPU2006)",
+        pattern="fadd/fsub chain, product leaves, trunk+leaf reorder",
+        build=lambda: _float_module("milc_su3", "ABDESC", _milc_su3_body, 2),
+        make_inputs=_float_inputs("ABDESC"),
+        output_globals=("C",),
+        trip_count=512,
+        check_exact=False,
+    )
+)
+
+
+def _milc_norm_body(b: IRBuilder, i: Value, env: ArrayEnv) -> None:
+    """Field renormalization: multiplicative chains with division.
+
+    Lane 0: ``C[i+0] = A[i+0] * B[i+0] / D[i+0]``
+    Lane 1: ``C[i+1] = A[i+1] / D[i+1] * B[i+1]``
+
+    The fmul/fdiv family is the multiplicative Super-Node case: the
+    reciprocal is the inverse element.  Only SN-SLP may reorder across the
+    division.
+    """
+    lane0 = b.fdiv(
+        b.fmul(env.load("A", i, 0), env.load("B", i, 0)),
+        env.load("D", i, 0),
+    )
+    env.store(lane0, "C", i, 0)
+    lane1 = b.fmul(
+        b.fdiv(env.load("A", i, 1), env.load("D", i, 1)),
+        env.load("B", i, 1),
+    )
+    env.store(lane1, "C", i, 1)
+
+
+register_kernel(
+    Kernel(
+        name="milc-field-norm",
+        description="field renormalization (mul/div chain)",
+        origin="433.milc (SPEC CPU2006)",
+        pattern="fmul/fdiv chain, leaf reorder across division",
+        build=lambda: _float_module("milc_norm", "ABDC", _milc_norm_body, 2),
+        make_inputs=_float_inputs("ABDC", nonzero="D"),
+        output_globals=("C",),
+        trip_count=512,
+        check_exact=False,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# 444.namd — pairwise force updates
+# ---------------------------------------------------------------------------
+
+def _namd_body(b: IRBuilder, i: Value, env: ArrayEnv) -> None:
+    """Force accumulation with a repulsive (subtracted) term.
+
+    Lane 0: ``F[i+0] = (X[i+0] + Q[i+0]*R[i+0]) - W[i+0]``
+    Lane 1: ``F[i+1] = (X[i+1] - W[i+1]) + Q[i+1]*R[i+1]``
+    """
+    lane0 = b.fsub(
+        b.fadd(
+            env.load("X", i, 0),
+            b.fmul(env.load("Q", i, 0), env.load("R", i, 0)),
+        ),
+        env.load("W", i, 0),
+    )
+    env.store(lane0, "F", i, 0)
+    lane1 = b.fadd(
+        b.fsub(env.load("X", i, 1), env.load("W", i, 1)),
+        b.fmul(env.load("Q", i, 1), env.load("R", i, 1)),
+    )
+    env.store(lane1, "F", i, 1)
+
+
+register_kernel(
+    Kernel(
+        name="namd-force-accum",
+        description="bonded force accumulation with repulsive term",
+        origin="444.namd (SPEC CPU2006)",
+        pattern="add/sub chain with product leaf, trunk swap",
+        build=lambda: _float_module("namd_force", "XQRWF", _namd_body, 2),
+        make_inputs=_float_inputs("XQRWF"),
+        output_globals=("F",),
+        trip_count=512,
+        check_exact=False,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# 447.dealII — local FEM assembly
+# ---------------------------------------------------------------------------
+
+def _dealii_body(b: IRBuilder, i: Value, env: ArrayEnv) -> None:
+    """Gradient contributions with alternating signs, depth-4 chains.
+
+    Lane 0: ``U[i+0] = A[i+0] - B[i+0] + C[i+0] - D[i+0] + E[i+0]``
+    Lane 1: ``U[i+1] = A[i+1] + C[i+1] - D[i+1] + E[i+1] - B[i+1]``
+    """
+    lane0 = b.fadd(
+        b.fsub(
+            b.fadd(
+                b.fsub(env.load("A", i, 0), env.load("B", i, 0)),
+                env.load("C", i, 0),
+            ),
+            env.load("D", i, 0),
+        ),
+        env.load("E", i, 0),
+    )
+    env.store(lane0, "U", i, 0)
+    lane1 = b.fsub(
+        b.fadd(
+            b.fsub(
+                b.fadd(env.load("A", i, 1), env.load("C", i, 1)),
+                env.load("D", i, 1),
+            ),
+            env.load("E", i, 1),
+        ),
+        env.load("B", i, 1),
+    )
+    env.store(lane1, "U", i, 1)
+
+
+register_kernel(
+    Kernel(
+        name="dealii-cell-assembly",
+        description="FEM local assembly, signed gradient contributions",
+        origin="447.dealII (SPEC CPU2006)",
+        pattern="deep add/sub chain (4 trunks), leaf reorder",
+        build=lambda: _float_module("dealii", "ABCDEU", _dealii_body, 2),
+        make_inputs=_float_inputs("ABCDEU"),
+        output_globals=("U",),
+        trip_count=512,
+        check_exact=False,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# 450.soplex — simplex vector updates (integer)
+# ---------------------------------------------------------------------------
+
+def _soplex_body(b: IRBuilder, i: Value, env: ArrayEnv) -> None:
+    """Integer ratio-test bookkeeping: exact add/sub chains.
+
+    Lane k permutes the term order; integer subtraction is exact, so the
+    Super-Node forms without any fast-math licence.
+
+    Lane 0: ``X[i+0] = (B[i+0] - P[i+0]) + Q[i+0]``
+    Lane 1: ``X[i+1] = (Q[i+1] - P[i+1]) + B[i+1]``
+    """
+    lane0 = b.add(
+        b.sub(env.load("B", i, 0), env.load("P", i, 0)),
+        env.load("Q", i, 0),
+    )
+    env.store(lane0, "X", i, 0)
+    lane1 = b.add(
+        b.sub(env.load("Q", i, 1), env.load("P", i, 1)),
+        env.load("B", i, 1),
+    )
+    env.store(lane1, "X", i, 1)
+
+
+def _soplex_module() -> Module:
+    module = Module("soplex")
+    for array in "BPQX":
+        module.add_global(array, I64, _LEN)
+    make_loop_kernel(module, "kernel", _soplex_body, step=2, fast_math=False)
+    return finish_module(module)
+
+
+register_kernel(
+    Kernel(
+        name="soplex-ratio-update",
+        description="simplex bound/ratio updates (64-bit integer)",
+        origin="450.soplex (SPEC CPU2006)",
+        pattern="integer add/sub chain, leaf reorder, no fast-math needed",
+        build=_soplex_module,
+        make_inputs=lambda rng: {n: random_ints(rng, _LEN) for n in "BPQX"},
+        output_globals=("X",),
+        trip_count=512,
+        check_exact=True,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# 453.povray — shading/blending
+# ---------------------------------------------------------------------------
+
+def _povray_body(b: IRBuilder, i: Value, env: ArrayEnv) -> None:
+    """Colour blend: ambient + diffuse product - fog attenuation.
+
+    Lane 0: ``C[i+0] = K[i+0] + A[i+0]*L[i+0] - G[i+0]``
+    Lane 1: ``C[i+1] = K[i+1] - G[i+1] + A[i+1]*L[i+1]``
+    """
+    lane0 = b.fsub(
+        b.fadd(
+            env.load("K", i, 0),
+            b.fmul(env.load("A", i, 0), env.load("L", i, 0)),
+        ),
+        env.load("G", i, 0),
+    )
+    env.store(lane0, "C", i, 0)
+    lane1 = b.fadd(
+        b.fsub(env.load("K", i, 1), env.load("G", i, 1)),
+        b.fmul(env.load("A", i, 1), env.load("L", i, 1)),
+    )
+    env.store(lane1, "C", i, 1)
+
+
+register_kernel(
+    Kernel(
+        name="povray-shade-blend",
+        description="colour blending with fog attenuation",
+        origin="453.povray (SPEC CPU2006)",
+        pattern="add/sub chain with product leaf, trunk swap",
+        build=lambda: _float_module("povray", "KALGC", _povray_body, 2),
+        make_inputs=_float_inputs("KALGC"),
+        output_globals=("C",),
+        trip_count=512,
+        check_exact=False,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# 482.sphinx3 — Gaussian scoring
+# ---------------------------------------------------------------------------
+
+def _sphinx_body(b: IRBuilder, i: Value, env: ArrayEnv) -> None:
+    """Mahalanobis-style scoring terms.
+
+    Lane 0: ``S[i+0] = B[i+0] - D[i+0]*P[i+0] + K[i+0]``
+    Lane 1: ``S[i+1] = B[i+1] + K[i+1] - D[i+1]*P[i+1]``
+    """
+    lane0 = b.fadd(
+        b.fsub(
+            env.load("B", i, 0),
+            b.fmul(env.load("D", i, 0), env.load("P", i, 0)),
+        ),
+        env.load("K", i, 0),
+    )
+    env.store(lane0, "S", i, 0)
+    lane1 = b.fsub(
+        b.fadd(env.load("B", i, 1), env.load("K", i, 1)),
+        b.fmul(env.load("D", i, 1), env.load("P", i, 1)),
+    )
+    env.store(lane1, "S", i, 1)
+
+
+register_kernel(
+    Kernel(
+        name="sphinx-gauss-score",
+        description="Gaussian density scoring terms",
+        origin="482.sphinx3 (SPEC CPU2006)",
+        pattern="add/sub chain with weighted-square leaf, trunk swap",
+        build=lambda: _float_module("sphinx", "BDPKS", _sphinx_body, 2),
+        make_inputs=_float_inputs("BDPKS"),
+        output_globals=("S",),
+        trip_count=512,
+        check_exact=False,
+    )
+)
+
+
+def _milc_su3_vec4_body(b: IRBuilder, i: Value, env: ArrayEnv) -> None:
+    """Four-lane variant of the su3 pattern: every lane computes
+    ``B - C + D`` but each spells the expression differently, so the
+    Super-Node must find a consistent group across all four lanes
+    (``buildGroup`` runs lane-to-lane three times per operand index).
+
+    Lane 0: ``(B - C) + D``     Lane 1: ``(B + D) - C``
+    Lane 2: ``(D - C) + B``     Lane 3: ``(D + B) - C``
+    """
+    lane0 = b.fadd(
+        b.fsub(env.load("B", i, 0), env.load("C", i, 0)), env.load("D", i, 0)
+    )
+    env.store(lane0, "A", i, 0)
+    lane1 = b.fsub(
+        b.fadd(env.load("B", i, 1), env.load("D", i, 1)), env.load("C", i, 1)
+    )
+    env.store(lane1, "A", i, 1)
+    lane2 = b.fadd(
+        b.fsub(env.load("D", i, 2), env.load("C", i, 2)), env.load("B", i, 2)
+    )
+    env.store(lane2, "A", i, 2)
+    lane3 = b.fsub(
+        b.fadd(env.load("D", i, 3), env.load("B", i, 3)), env.load("C", i, 3)
+    )
+    env.store(lane3, "A", i, 3)
+
+
+register_kernel(
+    Kernel(
+        name="milc-su3-vec4",
+        description="four-lane signed sum, per-lane expression shapes",
+        origin="433.milc (SPEC CPU2006), 256-bit lanes",
+        pattern="4-lane Super-Node, buildGroup across all lanes",
+        build=lambda: _float_module("milc_vec4", "ABCD", _milc_su3_vec4_body, 4),
+        make_inputs=_float_inputs("ABCD"),
+        output_globals=("A",),
+        trip_count=512,
+        check_exact=False,
+    )
+)
+
+
+def _povray_distance_body(b: IRBuilder, i: Value, env: ArrayEnv) -> None:
+    """Ray-length computation: sqrt over an add/sub chain of squares.
+
+    Lane 0: ``R[i+0] = sqrt(fabs(X2[i+0] + Y2[i+0] - O[i+0]))``
+    Lane 1: ``R[i+1] = sqrt(fabs(X2[i+1] - O[i+1] + Y2[i+1]))``
+
+    Exercises intrinsic-call bundles on top of the Super-Node: the sqrt
+    lanes only become isomorphic after the chain beneath them reorders.
+    """
+    lane0 = b.call(
+        "sqrt",
+        [
+            b.call(
+                "fabs",
+                [
+                    b.fsub(
+                        b.fadd(env.load("X", i, 0), env.load("Y", i, 0)),
+                        env.load("O", i, 0),
+                    )
+                ],
+            )
+        ],
+    )
+    env.store(lane0, "R", i, 0)
+    lane1 = b.call(
+        "sqrt",
+        [
+            b.call(
+                "fabs",
+                [
+                    b.fadd(
+                        b.fsub(env.load("X", i, 1), env.load("O", i, 1)),
+                        env.load("Y", i, 1),
+                    )
+                ],
+            )
+        ],
+    )
+    env.store(lane1, "R", i, 1)
+
+
+register_kernel(
+    Kernel(
+        name="povray-ray-length",
+        description="sqrt of signed sum of squares per ray",
+        origin="453.povray (SPEC CPU2006)",
+        pattern="call bundle over add/sub chain, trunk swap",
+        build=lambda: _float_module("povray_dist", "XYOR", _povray_distance_body, 2),
+        make_inputs=_float_inputs("XYOR", nonzero="XY"),
+        output_globals=("R",),
+        trip_count=512,
+        check_exact=False,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# horizontal reductions (-slp-vectorize-hor, enabled in the paper's setup)
+# ---------------------------------------------------------------------------
+
+def _dot_reduction_body(b: IRBuilder, i: Value, env: ArrayEnv) -> None:
+    """Pure dot product: a commutative reduction chain.
+
+    ``S[i] = B[i]*W[i] + B[i+1]*W[i+1] + B[i+2]*W[i+2] + B[i+3]*W[i+3]``
+
+    Every configuration with horizontal-reduction support vectorizes this
+    (wide loads, wide multiply, shuffle-reduce); it isolates the -hor
+    machinery from the Super-Node machinery.
+    """
+    acc = b.fmul(env.load("B", i, 0), env.load("W", i, 0))
+    for k in range(1, 4):
+        acc = b.fadd(acc, b.fmul(env.load("B", i, k), env.load("W", i, k)))
+    env.store(acc, "S", i, 0)
+
+
+register_kernel(
+    Kernel(
+        name="sphinx-dot-product",
+        description="4-term dot product reduction per frame",
+        origin="482.sphinx3 (SPEC CPU2006), -slp-vectorize-hor",
+        pattern="pure fadd reduction chain (all configs vectorize)",
+        build=lambda: _float_module("sphinx_dot", "BWS", _dot_reduction_body, 1),
+        make_inputs=_float_inputs("BWS"),
+        output_globals=("S",),
+        trip_count=384,
+        check_exact=False,
+    )
+)
+
+
+def _signed_reduction_body(b: IRBuilder, i: Value, env: ArrayEnv) -> None:
+    """Reduction whose chain mixes additions and subtractions.
+
+    ``S[i] = B[i]*W[i] + B[i+1]*W[i+1] - G[i]*H[i] + B[i+2]*W[i+2]
+             - G[i+1]*H[i+1] + B[i+3]*W[i+3]``
+
+    The '-' terms interrupt the commutative chain, so only the Super-Node
+    (APO-partitioned) reduction can vectorize it: the '+' products fill one
+    accumulator, the '-' products another, and the accumulators subtract.
+    """
+    acc = b.fmul(env.load("B", i, 0), env.load("W", i, 0))
+    acc = b.fadd(acc, b.fmul(env.load("B", i, 1), env.load("W", i, 1)))
+    acc = b.fsub(acc, b.fmul(env.load("G", i, 0), env.load("H", i, 0)))
+    acc = b.fadd(acc, b.fmul(env.load("B", i, 2), env.load("W", i, 2)))
+    acc = b.fsub(acc, b.fmul(env.load("G", i, 1), env.load("H", i, 1)))
+    acc = b.fadd(acc, b.fmul(env.load("B", i, 3), env.load("W", i, 3)))
+    env.store(acc, "S", i, 0)
+
+
+register_kernel(
+    Kernel(
+        name="milc-staple-reduce",
+        description="gauge-action style signed product reduction",
+        origin="433.milc (SPEC CPU2006), -slp-vectorize-hor",
+        pattern="fadd/fsub reduction, APO-partitioned accumulators",
+        build=lambda: _float_module("milc_staple", "BWGHS", _signed_reduction_body, 1),
+        make_inputs=_float_inputs("BWGHS"),
+        output_globals=("S",),
+        trip_count=384,
+        check_exact=False,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# control kernels: LSLP-friendly, trivially vectorizable, non-vectorizable
+# ---------------------------------------------------------------------------
+
+def _commutative_body(b: IRBuilder, i: Value, env: ArrayEnv) -> None:
+    """Pure fadd chains with per-lane permuted leaves.
+
+    LSLP's Multi-Node already fixes this (no inverse ops involved), so the
+    expectation is LSLP == SN-SLP > SLP == O3.
+
+    Lane 0: ``S[i+0] = (A[i+0] + C[i+0]) + B[i+0]``
+    Lane 1: ``S[i+1] = (A[i+1] + B[i+1]) + C[i+1]``
+    """
+    lane0 = b.fadd(
+        b.fadd(env.load("A", i, 0), env.load("C", i, 0)),
+        env.load("B", i, 0),
+    )
+    env.store(lane0, "S", i, 0)
+    lane1 = b.fadd(
+        b.fadd(env.load("A", i, 1), env.load("B", i, 1)),
+        env.load("C", i, 1),
+    )
+    env.store(lane1, "S", i, 1)
+
+
+register_kernel(
+    Kernel(
+        name="lslp-commutative-chain",
+        description="pure fadd chains, permuted leaves (LSLP territory)",
+        origin="LSLP baseline (CGO 2018), reduction-style sums",
+        pattern="commutative-only Multi-Node leaf reorder",
+        build=lambda: _float_module("commutative", "ABCS", _commutative_body, 2),
+        make_inputs=_float_inputs("ABCS"),
+        output_globals=("S",),
+        trip_count=512,
+        check_exact=False,
+    )
+)
+
+
+def _plain_body(b: IRBuilder, i: Value, env: ArrayEnv) -> None:
+    """Textbook isomorphic lanes: everything vectorizes this."""
+    for off in range(4):
+        value = b.fadd(
+            b.fmul(env.load("A", i, off), env.load("B", i, off)),
+            env.load("C", i, off),
+        )
+        env.store(value, "S", i, off)
+
+
+register_kernel(
+    Kernel(
+        name="plain-fma-lanes",
+        description="isomorphic a*b+c lanes (vanilla SLP territory)",
+        origin="generic dense kernel",
+        pattern="no reordering required",
+        build=lambda: _float_module("plain", "ABCS", _plain_body, 4),
+        make_inputs=_float_inputs("ABCS"),
+        output_globals=("S",),
+        trip_count=512,
+        check_exact=False,
+    )
+)
+
+
+def _serial_body(b: IRBuilder, i: Value, env: ArrayEnv) -> None:
+    """Loop-carried dependence through memory: lane 1 loads what lane 0
+    stored.  No configuration may vectorize this (the scheduling legality
+    check must reject the bundle)."""
+    lane0 = b.fadd(env.load("A", i, 0), env.load("B", i, 0))
+    env.store(lane0, "A", i, 1)
+    lane1 = b.fadd(env.load("A", i, 1), env.load("B", i, 1))
+    env.store(lane1, "A", i, 2)
+
+
+register_kernel(
+    Kernel(
+        name="serial-dependence",
+        description="store-to-load dependence between lanes (must not vectorize)",
+        origin="legality control",
+        pattern="none (scheduling hazard)",
+        build=lambda: _float_module("serial", "AB", _serial_body, 1),
+        make_inputs=_float_inputs("AB"),
+        output_globals=("A",),
+        trip_count=500,
+        check_exact=True,
+    )
+)

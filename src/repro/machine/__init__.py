@@ -1,0 +1,29 @@
+"""Target machine models: ISA capabilities and instruction cost tables."""
+
+from .isa import VectorISA
+from .costmodel import CostModel, DEFAULT_SCALAR_COSTS, DEFAULT_INTRINSIC_COSTS
+from .targets import (
+    ALL_TARGETS,
+    DEFAULT_TARGET,
+    NO_ADDSUB,
+    SCALAR,
+    SKYLAKE_LIKE,
+    SSE4_LIKE,
+    TargetMachine,
+    target_named,
+)
+
+__all__ = [
+    "VectorISA",
+    "CostModel",
+    "DEFAULT_SCALAR_COSTS",
+    "DEFAULT_INTRINSIC_COSTS",
+    "TargetMachine",
+    "SKYLAKE_LIKE",
+    "SSE4_LIKE",
+    "NO_ADDSUB",
+    "SCALAR",
+    "DEFAULT_TARGET",
+    "ALL_TARGETS",
+    "target_named",
+]

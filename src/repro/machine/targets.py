@@ -1,0 +1,50 @@
+"""Predefined target machines.
+
+The paper evaluates on an Intel i5-6440HQ (Skylake, AVX2).  We model three
+targets:
+
+* ``SKYLAKE_LIKE`` — 256-bit vectors with native addsub: the evaluation
+  target (``-march=native`` on the paper's machine);
+* ``SSE4_LIKE`` — 128-bit vectors with addsub: the minimal x86 target the
+  paper's footnote about the SSE ``addsub`` family refers to;
+* ``SCALAR`` — no vectors: the ``O3`` (vectorizers disabled) baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .costmodel import CostModel
+from .isa import VectorISA
+
+
+@dataclass(frozen=True)
+class TargetMachine:
+    """A named (ISA, cost model) pair."""
+
+    name: str
+    isa: VectorISA
+    cost_model: CostModel
+
+
+def _make(name: str, vector_bits: int, has_addsub: bool, **cost_kwargs) -> TargetMachine:
+    isa = VectorISA(name=name, vector_bits=vector_bits, has_addsub=has_addsub)
+    return TargetMachine(name=name, isa=isa, cost_model=CostModel(isa=isa, **cost_kwargs))
+
+
+SKYLAKE_LIKE = _make("skylake-like", vector_bits=256, has_addsub=True)
+SSE4_LIKE = _make("sse4-like", vector_bits=128, has_addsub=True)
+NO_ADDSUB = _make("no-addsub", vector_bits=256, has_addsub=False)
+SCALAR = _make("scalar", vector_bits=0, has_addsub=False)
+
+#: default target used throughout examples/benchmarks
+DEFAULT_TARGET = SKYLAKE_LIKE
+
+ALL_TARGETS = (SKYLAKE_LIKE, SSE4_LIKE, NO_ADDSUB, SCALAR)
+
+
+def target_named(name: str) -> TargetMachine:
+    for target in ALL_TARGETS:
+        if target.name == name:
+            return target
+    raise KeyError(f"unknown target: {name}")

@@ -1,0 +1,26 @@
+"""Mid-end passes: simplification and loop unrolling.
+
+These stand in for the parts of a production -O3 pipeline that run before
+the SLP vectorizer: :mod:`simplify` is a miniature instcombine,
+:mod:`unroll` turns canonical counted loops into the manually-unrolled
+shape the paper's kernels are written in.
+"""
+
+from .simplify import simplify_function, simplify_module
+from .unroll import (
+    CanonicalLoop,
+    find_canonical_loops,
+    unroll_function,
+    unroll_loop,
+    unroll_module,
+)
+
+__all__ = [
+    "simplify_function",
+    "simplify_module",
+    "CanonicalLoop",
+    "find_canonical_loops",
+    "unroll_loop",
+    "unroll_function",
+    "unroll_module",
+]

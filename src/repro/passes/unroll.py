@@ -1,0 +1,259 @@
+"""Loop unrolling for canonical counted loops.
+
+SLP vectorizes straight-line code; the paper's kernels are *manually*
+unrolled loop bodies.  This pass supplies the missing -O3 ingredient for
+sources written one-element-per-iteration: it unrolls the canonical
+
+    for (i = start; i < n; i += step) { body }
+
+by a factor ``U``, producing a main loop stepping ``U*step`` whose body is
+``U`` copies of the original body (with ``i`` advanced by ``k*step`` in
+copy ``k``), plus the original loop as the remainder.  The unrolled copies
+are exactly the lane-per-offset shape the SLP seeds look for.
+
+Restrictions (checked, not assumed): the loop must be the canonical shape
+produced by the frontend / kernel builders — entry -> header(phi, icmp lt,
+condbr) -> body (straight-line, ends ``br header``) -> exit, with a single
+induction phi stepped by a positive constant.  Anything else is left
+untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..ir.block import BasicBlock
+from ..ir.builder import IRBuilder
+from ..ir.function import Function
+from ..ir.instructions import (
+    AltBinaryInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CmpInst,
+    CmpPredicate,
+    CondBranchInst,
+    ExtractElementInst,
+    GepInst,
+    InsertElementInst,
+    Instruction,
+    LoadInst,
+    Opcode,
+    PhiInst,
+    SelectInst,
+    ShuffleVectorInst,
+    StoreInst,
+)
+from ..ir.module import Module
+from ..ir.types import I64
+from ..ir.values import Constant, Value
+from ..ir.verifier import verify_function
+
+
+@dataclass
+class CanonicalLoop:
+    """A recognized canonical counted loop."""
+
+    preheader: BasicBlock
+    header: BasicBlock
+    body: BasicBlock
+    exit: BasicBlock
+    induction: PhiInst
+    bound: Value
+    step: int
+    increment: BinaryInst
+
+
+def find_canonical_loops(function: Function) -> List[CanonicalLoop]:
+    """Recognize every canonical loop in ``function``."""
+    loops: List[CanonicalLoop] = []
+    for header in function.blocks:
+        loop = _match_loop(function, header)
+        if loop is not None:
+            loops.append(loop)
+    return loops
+
+
+def _match_loop(function: Function, header: BasicBlock) -> Optional[CanonicalLoop]:
+    phis = header.phis()
+    if len(phis) != 1:
+        return None
+    induction = phis[0]
+    if induction.type is not I64 or induction.num_operands != 2:
+        return None
+    body_insts = header.non_phi_instructions()
+    if len(body_insts) != 2:
+        return None
+    cmp, term = body_insts
+    if not isinstance(cmp, CmpInst) or cmp.predicate is not CmpPredicate.LT:
+        return None
+    if cmp.lhs is not induction:
+        return None
+    if not isinstance(term, CondBranchInst) or term.cond is not cmp:
+        return None
+    body, exit_block = term.if_true, term.if_false
+    if body is header or exit_block is header:
+        return None
+    # the body must be straight-line and branch back to the header
+    body_term = body.terminator
+    if not isinstance(body_term, BranchInst) or body_term.target is not header:
+        return None
+    if any(isinstance(inst, PhiInst) for inst in body):
+        return None
+    # one incoming edge from the body: `i + step`; the other is the start
+    preheader = None
+    increment = None
+    for value, pred in induction.incoming():
+        if pred is body:
+            if (
+                isinstance(value, BinaryInst)
+                and value.opcode is Opcode.ADD
+                and value.lhs is induction
+                and isinstance(value.rhs, Constant)
+                and value.rhs.value > 0
+                and value.parent is body
+            ):
+                increment = value
+            else:
+                return None
+        else:
+            preheader = pred
+    if increment is None or preheader is None:
+        return None
+    # nothing else may use the induction variable's increment as a loop
+    # value (keep it simple: the increment feeds only the phi)
+    if any(user is not induction for user in increment.unique_users()):
+        return None
+    return CanonicalLoop(
+        preheader=preheader,
+        header=header,
+        body=body,
+        exit=exit_block,
+        induction=induction,
+        bound=cmp.rhs,
+        step=increment.rhs.value,
+        increment=increment,
+    )
+
+
+def _clone_instruction(inst: Instruction, mapping: Dict[int, Value]) -> Instruction:
+    """Structural clone of ``inst`` with operands remapped."""
+
+    def op(index: int) -> Value:
+        operand = inst.operand(index)
+        return mapping.get(id(operand), operand)
+
+    if isinstance(inst, BinaryInst):
+        return BinaryInst(inst.opcode, op(0), op(1))
+    if isinstance(inst, AltBinaryInst):
+        return AltBinaryInst(inst.lane_opcodes, op(0), op(1))
+    if isinstance(inst, LoadInst):
+        return LoadInst(op(0), inst.type)
+    if isinstance(inst, StoreInst):
+        return StoreInst(op(0), op(1))
+    if isinstance(inst, GepInst):
+        return GepInst(op(0), op(1))
+    if isinstance(inst, InsertElementInst):
+        return InsertElementInst(op(0), op(1), op(2))
+    if isinstance(inst, ExtractElementInst):
+        return ExtractElementInst(op(0), op(1))
+    if isinstance(inst, ShuffleVectorInst):
+        return ShuffleVectorInst(op(0), op(1), inst.mask)
+    if isinstance(inst, CmpInst):
+        return CmpInst(inst.opcode, inst.predicate, op(0), op(1))
+    if isinstance(inst, SelectInst):
+        return SelectInst(op(0), op(1), op(2))
+    if isinstance(inst, CastInst):
+        return CastInst(inst.opcode, op(0), inst.type)
+    if isinstance(inst, CallInst):
+        return CallInst(inst.callee, [op(k) for k in range(inst.num_operands)])
+    raise ValueError(f"cannot clone {inst.opcode} during unrolling")
+
+
+def unroll_loop(function: Function, loop: CanonicalLoop, factor: int) -> bool:
+    """Unroll ``loop`` by ``factor``; returns True on success.
+
+    Layout after the transformation::
+
+        preheader -> uheader -> ubody (U copies) -> uheader
+                       \\-> header (remainder loop, original) -> ...
+    """
+    if factor < 2:
+        return False
+    step = loop.step
+    wide_step = step * factor
+
+    uheader = function.add_block("unroll.header")
+    ubody = function.add_block("unroll.body")
+    # reroute the preheader into the unrolled header
+    pre_term = loop.preheader.terminator
+    assert pre_term is not None
+    if isinstance(pre_term, BranchInst):
+        pre_term.target = uheader
+    elif isinstance(pre_term, CondBranchInst):
+        if pre_term.if_true is loop.header:
+            pre_term.if_true = uheader
+        if pre_term.if_false is loop.header:
+            pre_term.if_false = uheader
+    else:  # pragma: no cover - canonical preheaders end in branches
+        return False
+
+    start_value = loop.induction.incoming_for(loop.preheader)
+
+    builder = IRBuilder(uheader)
+    u_induction = builder.phi(I64, "i.unroll")
+    # guard: i + wide_step - step < bound  <=>  last copy's index < bound
+    last_offset = builder.add(
+        u_induction, builder.const_i64(wide_step - step), "i.last"
+    )
+    in_range = builder.icmp(CmpPredicate.LT, last_offset, loop.bound)
+    builder.condbr(in_range, ubody, loop.header)
+
+    # clone the body `factor` times
+    builder.position_at_end(ubody)
+    for copy in range(factor):
+        mapping: Dict[int, Value] = {}
+        if copy == 0:
+            mapping[id(loop.induction)] = u_induction
+        else:
+            advanced = builder.add(
+                u_induction, builder.const_i64(copy * step), f"i.u{copy}"
+            )
+            mapping[id(loop.induction)] = advanced
+        for inst in loop.body.instructions:
+            if inst is loop.increment or inst.is_terminator:
+                continue
+            clone = _clone_instruction(inst, mapping)
+            builder.insert(clone)
+            mapping[id(inst)] = clone
+    next_value = builder.add(u_induction, builder.const_i64(wide_step), "i.unroll.next")
+    builder.br(uheader)
+
+    u_induction.add_incoming(start_value, loop.preheader)
+    u_induction.add_incoming(next_value, ubody)
+
+    # the original loop becomes the remainder: it now starts where the
+    # unrolled loop stopped
+    for index, pred in enumerate(loop.induction.incoming_blocks):
+        if pred is loop.preheader:
+            loop.induction.set_operand(index, u_induction)
+            loop.induction.incoming_blocks[index] = uheader
+            break
+    return True
+
+
+def unroll_function(function: Function, factor: int = 4) -> int:
+    """Unroll every canonical loop; returns how many were unrolled."""
+    count = 0
+    for loop in find_canonical_loops(function):
+        if unroll_loop(function, loop, factor):
+            count += 1
+    if count:
+        verify_function(function)
+    return count
+
+
+def unroll_module(module: Module, factor: int = 4) -> int:
+    return sum(unroll_function(f, factor) for f in module.functions.values())

@@ -1,0 +1,15 @@
+"""Cycle-accounting performance simulation."""
+
+from .executor import CycleCounter, SimulationResult, simulate
+from .stats import RunStats, measure, mean, stddev, summarize
+
+__all__ = [
+    "CycleCounter",
+    "SimulationResult",
+    "simulate",
+    "RunStats",
+    "measure",
+    "mean",
+    "stddev",
+    "summarize",
+]

@@ -1,0 +1,118 @@
+"""Cycle-accounting execution: the repro's stand-in for a real CPU.
+
+Runs a function on the reference interpreter while charging every executed
+instruction its cost from the target's :class:`~repro.machine.costmodel.
+CostModel`.  The resulting cycle totals play the role of the paper's
+wall-clock kernel timings: comparing the same kernel compiled under the
+O3 / LSLP / SN-SLP configurations on the same simulated machine gives the
+normalized speedups of Figures 5 and 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from ..interp.interpreter import Interpreter
+from ..interp.memory import Memory
+from ..ir.instructions import (
+    AltBinaryInst,
+    CallInst,
+    ExtractElementInst,
+    InsertElementInst,
+    Instruction,
+    Opcode,
+    ShuffleVectorInst,
+)
+from ..ir.module import Module
+from ..ir.types import VectorType
+from ..machine.targets import TargetMachine
+
+
+class CycleCounter:
+    """Accumulates simulated cycles per executed instruction."""
+
+    def __init__(self, target: TargetMachine) -> None:
+        self.target = target
+        self.cycles = 0.0
+        self.instructions = 0
+        self.per_opcode: Dict[Opcode, float] = {}
+
+    def charge(self, inst: Instruction) -> None:
+        cost = self._cost_of(inst)
+        self.cycles += cost
+        self.instructions += 1
+        self.per_opcode[inst.opcode] = self.per_opcode.get(inst.opcode, 0.0) + cost
+
+    def _cost_of(self, inst: Instruction) -> float:
+        model = self.target.cost_model
+        if isinstance(inst, AltBinaryInst):
+            return model.altbinop_cost(inst.lane_opcodes, inst.type)
+        if isinstance(inst, InsertElementInst):
+            return model.insert_cost
+        if isinstance(inst, ExtractElementInst):
+            return model.extract_cost
+        if isinstance(inst, ShuffleVectorInst):
+            return model.shuffle_cost
+        if isinstance(inst, CallInst):
+            return model.intrinsic_cost(inst.callee, inst.type)
+        result_type = inst.type
+        # For stores the relevant width is the stored value's type.
+        if inst.opcode is Opcode.STORE:
+            result_type = inst.operand(0).type
+        if isinstance(result_type, VectorType):
+            return model.vector_op_cost(inst.opcode, result_type)
+        return model.scalar_op_cost(inst.opcode, result_type)
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one function invocation."""
+
+    cycles: float
+    instructions: int
+    per_opcode: Dict[Opcode, float]
+    return_value: object
+    globals_after: Dict[str, list] = field(default_factory=dict)
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Speedup of *this* result relative to ``baseline`` (>1 = faster)."""
+        if self.cycles == 0:
+            return float("inf")
+        return baseline.cycles / self.cycles
+
+
+def simulate(
+    module: Module,
+    function_name: str,
+    target: TargetMachine,
+    args: Sequence = (),
+    inputs: Optional[Dict[str, Sequence]] = None,
+    capture_globals: bool = True,
+    memory_size: int = 1 << 20,
+) -> SimulationResult:
+    """Execute ``function_name`` and account cycles on ``target``.
+
+    ``inputs`` seeds global buffers before the run, which keeps workload
+    data out of the IR and identical across compiler configurations.
+    """
+    counter = CycleCounter(target)
+    interp = Interpreter(
+        module, memory=Memory(memory_size), on_execute=counter.charge
+    )
+    if inputs:
+        for name, values in inputs.items():
+            interp.write_global(name, values)
+    result = interp.run(function_name, args)
+    globals_after = (
+        {name: interp.read_global(name) for name in module.globals}
+        if capture_globals
+        else {}
+    )
+    return SimulationResult(
+        cycles=counter.cycles,
+        instructions=counter.instructions,
+        per_opcode=dict(counter.per_opcode),
+        return_value=result,
+        globals_after=globals_after,
+    )

@@ -1,0 +1,116 @@
+"""Look-ahead operand scoring, as introduced by LSLP (Porpodas et al.,
+CGO 2018) and reused by Super-Node SLP's ``buildGroup`` (Listing 3).
+
+``score_pair(a, b)`` estimates how profitable it is to place values ``a``
+and ``b`` in adjacent lanes of the same vector.  The recursion looks
+*through* same-opcode instructions up to ``depth`` levels, which is what
+distinguishes look-ahead reordering from plain single-level operand
+matching: two adds whose operands are consecutive loads score much higher
+than two adds over unrelated values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.analysis import address_of
+from ..ir.instructions import (
+    BinaryInst,
+    CallInst,
+    Instruction,
+    LoadInst,
+    base_opcode,
+    is_commutative,
+)
+from ..ir.values import Constant, Value
+
+
+@dataclass(frozen=True)
+class ScoreTable:
+    """Tunable score constants (defaults mirror LLVM's LookAheadHeuristics)."""
+
+    consecutive_loads: int = 4
+    reversed_loads: int = 2
+    splat: int = 3
+    constants: int = 2
+    same_opcode: int = 2
+    same_family: int = 1
+    fail: int = 0
+
+
+DEFAULT_SCORES = ScoreTable()
+
+
+class LookAheadScorer:
+    """Pairwise value scoring with bounded recursive look-ahead."""
+
+    def __init__(self, depth: int = 2, table: ScoreTable = DEFAULT_SCORES) -> None:
+        self.depth = depth
+        self.table = table
+
+    # -- public API ----------------------------------------------------------
+
+    def score_pair(self, a: Value, b: Value) -> int:
+        """Score of placing ``a`` and ``b`` in neighbouring vector lanes."""
+        return self._score(a, b, self.depth)
+
+    def score_group(self, values) -> int:
+        """Sum of consecutive pairwise scores across a whole lane group."""
+        values = list(values)
+        return sum(
+            self.score_pair(left, right)
+            for left, right in zip(values, values[1:])
+        )
+
+    # -- recursion -------------------------------------------------------------
+
+    def _score(self, a: Value, b: Value, depth: int) -> int:
+        table = self.table
+        if a is b:
+            return table.splat
+        if isinstance(a, Constant) and isinstance(b, Constant):
+            return table.constants
+        if isinstance(a, LoadInst) and isinstance(b, LoadInst):
+            return self._score_loads(a, b)
+        if isinstance(a, Instruction) and isinstance(b, Instruction):
+            return self._score_instructions(a, b, depth)
+        return table.fail
+
+    def _score_loads(self, a: LoadInst, b: LoadInst) -> int:
+        if a.type is not b.type:
+            return self.table.fail
+        addr_a = address_of(a)
+        addr_b = address_of(b)
+        if addr_a is None or addr_b is None:
+            return self.table.fail
+        distance = addr_a.distance_to(addr_b)
+        if distance == 1:
+            return self.table.consecutive_loads
+        if distance == -1:
+            return self.table.reversed_loads
+        return self.table.fail
+
+    def _score_instructions(self, a: Instruction, b: Instruction, depth: int) -> int:
+        if a.type is not b.type:
+            return self.table.fail
+        if a.opcode is b.opcode:
+            base = self.table.same_opcode
+        elif base_opcode(a.opcode) == base_opcode(b.opcode):
+            base = self.table.same_family
+        else:
+            return self.table.fail
+        if isinstance(a, CallInst) and isinstance(b, CallInst):
+            if a.callee != b.callee:
+                return self.table.fail
+        if depth <= 0 or not isinstance(a, BinaryInst) or not isinstance(b, BinaryInst):
+            return base
+        return base + self._best_operand_pairing(a, b, depth - 1)
+
+    def _best_operand_pairing(self, a: BinaryInst, b: BinaryInst, depth: int) -> int:
+        """Look ahead into operands; consider the swapped pairing when the
+        second instruction is commutative."""
+        straight = self._score(a.lhs, b.lhs, depth) + self._score(a.rhs, b.rhs, depth)
+        if is_commutative(b.opcode):
+            crossed = self._score(a.lhs, b.rhs, depth) + self._score(a.rhs, b.lhs, depth)
+            return max(straight, crossed)
+        return straight

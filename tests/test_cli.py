@@ -1,0 +1,146 @@
+"""CLI driver tests (``python -m repro`` / the ``snslp`` entry point)."""
+
+import pytest
+
+from repro.cli import main
+
+FIG3 = """
+long A[1024]; long B[1024]; long C[1024]; long D[1024];
+
+kernel fig3(n) {
+  for (i = 0; i < n; i += 2) {
+    A[i+0] = B[i+0] - C[i+0] + D[i+0];
+    A[i+1] = B[i+1] + D[i+1] - C[i+1];
+  }
+}
+"""
+
+TWO_KERNELS = """
+double A[16];
+kernel one(n) { A[0] = 1.0; }
+kernel two(n) { A[1] = 2.0; }
+"""
+
+
+@pytest.fixture
+def fig3_file(tmp_path):
+    path = tmp_path / "fig3.sn"
+    path.write_text(FIG3)
+    return str(path)
+
+
+class TestCompile:
+    def test_emit_ir(self, fig3_file, capsys):
+        assert main(["compile", fig3_file, "--emit-ir"]) == 0
+        out = capsys.readouterr()
+        assert "func @fig3" in out.out
+        assert "<2 x i64>" in out.out  # vectorized under the default SN-SLP
+        assert "vectorized" in out.err
+
+    def test_o3_leaves_scalar(self, fig3_file, capsys):
+        assert main(["compile", fig3_file, "--emit-ir", "--config", "o3"]) == 0
+        out = capsys.readouterr()
+        assert "<2 x i64>" not in out.out
+
+    def test_without_emit_only_stats(self, fig3_file, capsys):
+        assert main(["compile", fig3_file]) == 0
+        out = capsys.readouterr()
+        assert out.out == ""
+        assert "SLP graphs" in out.err
+
+    def test_unknown_config(self, fig3_file):
+        with pytest.raises(KeyError):
+            main(["compile", fig3_file, "--config", "turbo"])
+
+    def test_unknown_target(self, fig3_file):
+        with pytest.raises(KeyError):
+            main(["compile", fig3_file, "--target", "itanium"])
+
+
+class TestRun:
+    def test_run_prints_buffers(self, fig3_file, capsys):
+        assert main(["run", fig3_file, "--n", "8", "--show", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles:" in out
+        assert "@A[:4]" in out
+
+    def test_kernel_selection_required_when_ambiguous(self, tmp_path, capsys):
+        path = tmp_path / "two.sn"
+        path.write_text(TWO_KERNELS)
+        with pytest.raises(SystemExit):
+            main(["run", str(path)])
+        assert main(["run", str(path), "--kernel", "one"]) == 0
+
+    def test_seed_determinism(self, fig3_file, capsys):
+        main(["run", fig3_file, "--seed", "7"])
+        first = capsys.readouterr().out
+        main(["run", fig3_file, "--seed", "7"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestCompare:
+    def test_compare_all_configs(self, fig3_file, capsys):
+        assert main(["compare", fig3_file, "--n", "128"]) == 0
+        out = capsys.readouterr().out
+        for name in ("O3", "SLP", "LSLP", "SN-SLP"):
+            assert name in out
+        # SN-SLP must show a speedup and correctness
+        snslp_line = next(l for l in out.splitlines() if l.startswith("SN-SLP"))
+        assert "True" in snslp_line
+
+
+class TestReport:
+    def test_report_shows_graphs_and_nodes(self, fig3_file, capsys):
+        assert main(["report", fig3_file, "--config", "sn-slp"]) == 0
+        out = capsys.readouterr().out
+        assert "graphs vectorized: 1" in out
+        assert "super-node" in out
+
+    def test_report_lslp_shows_unprofitable(self, fig3_file, capsys):
+        assert main(["report", fig3_file, "--config", "lslp"]) == 0
+        out = capsys.readouterr().out
+        assert "not profitable" in out
+
+
+class TestUnrollFlag:
+    def test_unroll_enables_vectorization_from_cli(self, tmp_path, capsys):
+        path = tmp_path / "step1.sn"
+        path.write_text(
+            "long A[256]; long B[256]; long C[256]; long D[256];\n"
+            "kernel k(n) {\n"
+            "  for (i = 0; i < n; i += 1) { A[i] = B[i] - C[i] + D[i]; }\n"
+            "}\n"
+        )
+        assert main(["compare", str(path), "--n", "100"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["compare", str(path), "--n", "100", "--unroll", "4"]) == 0
+        unrolled = capsys.readouterr().out
+        plain_snslp = next(l for l in plain.splitlines() if l.startswith("SN-SLP"))
+        unrolled_snslp = next(
+            l for l in unrolled.splitlines() if l.startswith("SN-SLP")
+        )
+        assert " 0 " in plain_snslp.replace("    ", " ")
+        assert "True" in unrolled_snslp
+
+
+class TestTextualIRInput:
+    def test_ir_file_loads_and_runs(self, tmp_path, capsys):
+        # emit vectorized IR from source, then feed the .ir back in
+        src = tmp_path / "k.sn"
+        src.write_text(FIG3)
+        assert main(["compile", str(src), "--emit-ir"]) == 0
+        text = capsys.readouterr().out
+        ir_file = tmp_path / "k.ir"
+        ir_file.write_text(text)
+        assert main(["run", str(ir_file), "--n", "8", "--show", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles:" in out
+
+    def test_malformed_ir_reports_parse_error(self, tmp_path):
+        from repro.ir import ParseError
+
+        bad = tmp_path / "bad.ir"
+        bad.write_text("module m\nfunc @f() -> void {\nentry:\n  bogus\n}\n")
+        with pytest.raises(ParseError):
+            main(["compile", str(bad)])

@@ -1,0 +1,166 @@
+"""Per-shape codegen coverage: casts, depth limits, dedup interplay."""
+
+import random
+
+import pytest
+
+from repro.interp import Interpreter
+from repro.ir import (
+    F64,
+    I32,
+    I64,
+    VOID,
+    Constant,
+    Function,
+    IRBuilder,
+    Module,
+    Opcode,
+    verify_module,
+    vector_of,
+)
+from repro.machine import DEFAULT_TARGET
+from repro.vectorizer import O3_CONFIG, SLP_CONFIG, SNSLP_CONFIG, compile_module
+
+
+def _run(module, name, inputs, n=0):
+    interp = Interpreter(module)
+    for key, values in inputs.items():
+        interp.write_global(key, values)
+    interp.run(name, [n])
+    return {key: interp.read_global(key) for key in module.globals}
+
+
+class TestCastBundles:
+    def _module(self):
+        # A[f64][i+k] = sitofp(B[i64][i+k]) * C[f64][i+k]
+        module = Module("cast")
+        module.add_global("A", F64, 64)
+        module.add_global("B", I64, 64)
+        module.add_global("C", F64, 64)
+        function = Function("kernel", [("i", I64)], VOID, fast_math=True)
+        module.add_function(function)
+        b = IRBuilder(function.add_block("entry"))
+        i = function.arguments[0]
+        for k in range(4):
+            idx = b.add(i, b.const_i64(k)) if k else i
+            raw = b.load(b.gep(module.global_named("B"), idx))
+            as_float = b.sitofp(raw, F64)
+            scaled = b.fmul(as_float, b.load(b.gep(module.global_named("C"), idx)))
+            b.store(scaled, b.gep(module.global_named("A"), idx))
+        b.ret()
+        verify_module(module)
+        return module
+
+    def test_sitofp_bundle_vectorizes(self):
+        module = self._module()
+        compiled = compile_module(module, SLP_CONFIG, DEFAULT_TARGET)
+        assert compiled.report.vectorized_graphs()
+        function = compiled.module.function("kernel")
+        casts = [i for i in function.entry if i.opcode is Opcode.SITOFP]
+        assert len(casts) == 1
+        assert casts[0].type is vector_of(F64, 4)
+
+    def test_cast_bundle_correct(self):
+        rng = random.Random(8)
+        inputs = {
+            "B": [rng.randint(-50, 50) for _ in range(64)],
+            "C": [rng.uniform(-2, 2) for _ in range(64)],
+        }
+        expected = _run(
+            compile_module(self._module(), O3_CONFIG, DEFAULT_TARGET).module,
+            "kernel", inputs,
+        )
+        got = _run(
+            compile_module(self._module(), SLP_CONFIG, DEFAULT_TARGET).module,
+            "kernel", inputs,
+        )
+        assert got["A"] == expected["A"]
+
+    def test_mixed_cast_source_types_gather(self):
+        # lanes casting from different source types must not bundle
+        module = Module("mix")
+        module.add_global("A", F64, 64)
+        module.add_global("B", I64, 64)
+        module.add_global("C8", I32, 64)
+        function = Function("kernel", [("i", I64)], VOID, fast_math=True)
+        module.add_function(function)
+        b = IRBuilder(function.add_block("entry"))
+        i = function.arguments[0]
+        idx1 = b.add(i, b.const_i64(1))
+        wide = b.load(b.gep(module.global_named("B"), i))
+        narrow = b.load(b.gep(module.global_named("C8"), idx1))
+        v0 = b.sitofp(wide, F64)
+        v1 = b.sitofp(narrow, F64)
+        b.store(v0, b.gep(module.global_named("A"), i))
+        b.store(v1, b.gep(module.global_named("A"), idx1))
+        b.ret()
+        verify_module(module)
+        compiled = compile_module(module, SLP_CONFIG, DEFAULT_TARGET)
+        graphs = compiled.report.all_graphs()
+        assert graphs and not graphs[0].vectorized
+
+
+class TestDepthLimit:
+    def test_max_depth_gathers_gracefully(self):
+        import dataclasses
+
+        module = Module("deep")
+        module.add_global("A", F64, 64)
+        module.add_global("B", F64, 64)
+        function = Function("kernel", [("i", I64)], VOID, fast_math=True)
+        module.add_function(function)
+        b = IRBuilder(function.add_block("entry"))
+        i = function.arguments[0]
+        for lane in range(2):
+            idx = b.add(i, b.const_i64(lane)) if lane else i
+            value = b.load(b.gep(module.global_named("B"), idx))
+            for _ in range(6):
+                value = b.fmul(value, value)  # deep non-chain tree
+            b.store(value, b.gep(module.global_named("A"), idx))
+        b.ret()
+        verify_module(module)
+        shallow = dataclasses.replace(SNSLP_CONFIG, name="shallow", max_depth=3)
+        compiled = compile_module(module, shallow, DEFAULT_TARGET)
+        graphs = compiled.report.all_graphs()
+        assert graphs
+        assert any("max depth" in r for g in graphs for r in g.gather_reasons) or (
+            graphs[0].vectorized
+        )
+
+
+class TestDedupAfterSuperNode:
+    def test_shared_leaf_between_chains_stays_correct(self):
+        # both lanes' chains share the exact same load (splat-ish leaf)
+        module = Module("share")
+        for name in "ABC":
+            module.add_global(name, F64, 64)
+        function = Function("kernel", [("i", I64)], VOID, fast_math=True)
+        module.add_function(function)
+        b = IRBuilder(function.add_block("entry"))
+        i = function.arguments[0]
+        shared = b.load(b.gep(module.global_named("C"), 0))
+        for lane in range(2):
+            idx = b.add(i, b.const_i64(lane)) if lane else i
+            x = b.load(b.gep(module.global_named("B"), idx))
+            value = b.fadd(b.fsub(x, shared), Constant(F64, 1.0))
+            b.store(value, b.gep(module.global_named("A"), idx))
+        b.ret()
+        verify_module(module)
+        rng = random.Random(4)
+        inputs = {
+            "B": [rng.uniform(-2, 2) for _ in range(64)],
+            "C": [rng.uniform(-2, 2) for _ in range(64)],
+        }
+        expected = _run(
+            compile_module(module, O3_CONFIG, DEFAULT_TARGET).module,
+            "kernel", inputs,
+        )
+        for config in (SLP_CONFIG, SNSLP_CONFIG):
+            got = _run(
+                compile_module(module, config, DEFAULT_TARGET).module,
+                "kernel", inputs,
+            )
+            import math
+
+            for x, y in zip(got["A"], expected["A"]):
+                assert math.isclose(x, y, rel_tol=1e-12)

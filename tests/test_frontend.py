@@ -1,0 +1,319 @@
+"""Frontend tests: lexer, parser, sema and lowering."""
+
+import pytest
+
+from repro.frontend import (
+    LexError,
+    SemanticError,
+    SyntaxErrorKL,
+    analyze,
+    compile_source,
+    parse_source,
+    tokenize,
+)
+from repro.frontend.syntax import ArrayRef, Assign, Binary, ForLoop
+from repro.interp import Interpreter, run_kernel
+from repro.ir import Opcode, verify_module
+
+
+FIG3_SOURCE = """
+long A[64]; long B[64]; long C[64]; long D[64];
+
+kernel fig3(n) {
+  for (i = 0; i < n; i += 2) {
+    A[i+0] = B[i+0] - C[i+0] + D[i+0];
+    A[i+1] = B[i+1] + D[i+1] - C[i+1];
+  }
+}
+"""
+
+
+class TestLexer:
+    def test_tokens(self):
+        tokens = tokenize("kernel f(n) { A[i+0] = 1.5; }")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] == "keyword"
+        assert "float" in kinds  # the literal 1.5
+        assert kinds[-1] == "eof"
+
+    def test_comments_stripped(self):
+        tokens = tokenize("a // line comment\nb /* block\ncomment */ c")
+        assert [t.text for t in tokens[:-1]] == ["a", "b", "c"]
+
+    def test_line_tracking(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.location.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_compound_operators(self):
+        tokens = tokenize("x += 1; y -= 2;")
+        ops = [t.text for t in tokens if t.kind == "op"]
+        assert "+=" in ops and "-=" in ops
+
+
+class TestParser:
+    def test_program_structure(self):
+        program = parse_source(FIG3_SOURCE)
+        assert len(program.declarations) == 4
+        assert len(program.kernels) == 1
+        kernel = program.kernels[0]
+        assert kernel.name == "fig3"
+        assert kernel.param == "n"
+        loop = kernel.body[0]
+        assert isinstance(loop, ForLoop)
+        assert loop.step == 2
+        assert len(loop.body) == 2
+
+    def test_precedence(self):
+        program = parse_source(
+            "double A[4];\nkernel k(n) { A[0] = 1.0 + 2.0 * 3.0; }"
+        )
+        assign = program.kernels[0].body[0]
+        assert isinstance(assign, Assign)
+        assert isinstance(assign.value, Binary) and assign.value.op == "+"
+        assert isinstance(assign.value.rhs, Binary) and assign.value.rhs.op == "*"
+
+    def test_parentheses(self):
+        program = parse_source(
+            "double A[4];\nkernel k(n) { A[0] = (1.0 + 2.0) * 3.0; }"
+        )
+        value = program.kernels[0].body[0].value
+        assert value.op == "*"
+
+    def test_unary_minus(self):
+        program = parse_source("double A[4];\nkernel k(n) { A[0] = -A[1]; }")
+        from repro.frontend.syntax import Unary
+
+        assert isinstance(program.kernels[0].body[0].value, Unary)
+
+    def test_nofastmath_flag(self):
+        program = parse_source(
+            "double A[4];\nkernel k(n) nofastmath { A[0] = 1.0; }"
+        )
+        assert not program.kernels[0].fast_math
+
+    def test_loop_variable_consistency_enforced(self):
+        with pytest.raises(SyntaxErrorKL):
+            parse_source(
+                "double A[4];\nkernel k(n) { for (i = 0; j < n; i += 1) {} }"
+            )
+
+    def test_missing_semicolon(self):
+        with pytest.raises(SyntaxErrorKL):
+            parse_source("double A[4];\nkernel k(n) { A[0] = 1.0 }")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(SyntaxErrorKL):
+            parse_source("double A[4];")
+
+
+class TestSema:
+    def test_unknown_array(self):
+        with pytest.raises(SemanticError, match="unknown array"):
+            analyze(parse_source("double A[4];\nkernel k(n) { Z[0] = 1.0; }"))
+
+    def test_duplicate_array(self):
+        with pytest.raises(SemanticError, match="duplicate array"):
+            analyze(parse_source("double A[4];\ndouble A[4];\nkernel k(n) { A[0]=1.0; }"))
+
+    def test_unbound_variable(self):
+        with pytest.raises(SemanticError, match="unbound variable"):
+            analyze(parse_source("double A[4];\nkernel k(n) { A[0] = x; }"))
+
+    def test_type_mismatch(self):
+        source = "double A[4]; long B[4];\nkernel k(n) { A[0] = B[0]; }"
+        with pytest.raises(SemanticError):
+            analyze(parse_source(source))
+
+    def test_float_literal_in_int_context(self):
+        with pytest.raises(SemanticError):
+            analyze(parse_source("long A[4];\nkernel k(n) { A[0] = 1.5; }"))
+
+    def test_int_literal_adapts_to_float(self):
+        analyze(parse_source("double A[4];\nkernel k(n) { A[0] = A[1] + 1; }"))
+
+    def test_nested_loops_rejected(self):
+        source = (
+            "double A[8];\nkernel k(n) {\n"
+            "  for (i = 0; i < n; i += 1) {\n"
+            "    for (j = 0; j < n; j += 1) { A[j] = 1.0; }\n"
+            "  }\n}"
+        )
+        with pytest.raises(SemanticError, match="nested"):
+            analyze(parse_source(source))
+
+    def test_compound_assign_requires_binding(self):
+        with pytest.raises(SemanticError, match="compound assignment"):
+            analyze(parse_source("double A[4];\nkernel k(n) { t += 1.0; }"))
+
+    def test_unknown_intrinsic(self):
+        with pytest.raises(SemanticError, match="unknown intrinsic"):
+            analyze(parse_source("double A[4];\nkernel k(n) { A[0] = frob(A[1]); }"))
+
+    def test_intrinsic_arity(self):
+        with pytest.raises(SemanticError, match="argument"):
+            analyze(parse_source("double A[4];\nkernel k(n) { A[0] = fmin(A[1]); }"))
+
+    def test_variable_rebinding_type_checked(self):
+        source = (
+            "double A[4]; long B[4];\n"
+            "kernel k(n) { t = A[0]; t = B[0]; }"
+        )
+        with pytest.raises(SemanticError):
+            analyze(parse_source(source))
+
+
+class TestLowering:
+    def test_fig3_compiles_and_verifies(self):
+        module = compile_source(FIG3_SOURCE)
+        verify_module(module)
+        assert "fig3" in module.functions
+        assert module.function("fig3").fast_math
+
+    def test_execution_semantics(self):
+        module = compile_source(FIG3_SOURCE)
+        out = run_kernel(
+            module,
+            "fig3",
+            [4],
+            inputs={
+                "B": list(range(64)),
+                "C": [1] * 64,
+                "D": [10] * 64,
+            },
+        )
+        # A[i] = B[i] - 1 + 10
+        assert out["A"][:4] == [9, 10, 11, 12]
+
+    def test_scalar_temporaries(self):
+        source = (
+            "double A[8]; double B[8];\n"
+            "kernel k(n) {\n"
+            "  for (i = 0; i < n; i += 1) {\n"
+            "    t = B[i] * 2.0;\n"
+            "    t += 1.0;\n"
+            "    A[i] = t;\n"
+            "  }\n}"
+        )
+        module = compile_source(source)
+        out = run_kernel(module, "k", [3], inputs={"B": [1.0] * 8})
+        assert out["A"][:3] == [3.0, 3.0, 3.0]
+
+    def test_compound_array_assignment(self):
+        source = (
+            "double A[8]; double B[8];\n"
+            "kernel k(n) { for (i = 0; i < n; i += 1) { A[i] += B[i]; } }"
+        )
+        out = run_kernel(
+            compile_source(source), "k", [2],
+            inputs={"A": [1.0] * 8, "B": [2.0] * 8},
+        )
+        assert out["A"][:2] == [3.0, 3.0]
+
+    def test_unary_minus_lowered_as_zero_minus(self):
+        source = "double A[4]; double B[4];\nkernel k(n) { A[0] = -B[0]; }"
+        module = compile_source(source)
+        out = run_kernel(module, "k", [0], inputs={"B": [5.0] * 4})
+        assert out["A"][0] == -5.0
+
+    def test_intrinsic_call(self):
+        source = "double A[4]; double B[4];\nkernel k(n) { A[0] = sqrt(B[0]); }"
+        out = run_kernel(compile_source(source), "k", [0], inputs={"B": [16.0] * 4})
+        assert out["A"][0] == 4.0
+
+    def test_index_cse_shares_gep_math(self):
+        module = compile_source(FIG3_SOURCE)
+        function = module.function("fig3")
+        body = function.block_named("body")
+        induction = function.block_named("header").phis()[0]
+        index_adds = [
+            inst
+            for inst in body
+            if inst.opcode is Opcode.ADD and inst.operand(0) is induction
+        ]
+        # i+0 and i+1 each computed once, plus the i+=2 increment
+        assert len(index_adds) == 3
+
+    def test_integer_division_kernel(self):
+        source = (
+            "long A[8]; long B[8];\n"
+            "kernel k(n) { for (i = 0; i < n; i += 1) { A[i] = B[i] / 2; } }"
+        )
+        out = run_kernel(compile_source(source), "k", [3], inputs={"B": [7] * 8})
+        assert out["A"][:3] == [3, 3, 3]
+
+    def test_multiple_kernels_in_one_module(self):
+        source = (
+            "double A[8];\n"
+            "kernel first(n) { A[0] = 1.0; }\n"
+            "kernel second(n) { A[1] = 2.0; }\n"
+        )
+        module = compile_source(source)
+        assert set(module.functions) == {"first", "second"}
+
+
+class TestCompareAndTernary:
+    def test_ternary_parses(self):
+        program = parse_source(
+            "double A[4];\nkernel k(n) { A[0] = A[1] < A[2] ? A[1] : A[2]; }"
+        )
+        from repro.frontend.syntax import Compare, Ternary
+
+        value = program.kernels[0].body[0].value
+        assert isinstance(value, Ternary)
+        assert isinstance(value.cond, Compare) and value.cond.op == "<"
+
+    def test_chained_comparison_rejected(self):
+        with pytest.raises(SyntaxErrorKL, match="chain"):
+            parse_source("double A[4];\nkernel k(n) { A[0] = A[1] < A[2] < A[3] ? 1.0 : 2.0; }")
+
+    def test_comparison_outside_ternary_type_checked(self):
+        # a bare comparison has type i1 and cannot store into double
+        with pytest.raises(SemanticError):
+            analyze(parse_source("double A[4];\nkernel k(n) { A[0] = A[1] < A[2]; }"))
+
+    def test_clamp_kernel_executes(self):
+        source = (
+            "double A[16]; double B[16]; double C[16];\n"
+            "kernel clamp(n) {\n"
+            "  for (i = 0; i < n; i += 1) {\n"
+            "    A[i] = B[i] < C[i] ? B[i] : C[i];\n"
+            "  }\n}"
+        )
+        out = run_kernel(
+            compile_source(source), "clamp", [4],
+            inputs={
+                "B": [1.0, 5.0, 2.0, 8.0] + [0.0] * 12,
+                "C": [3.0, 4.0, 9.0, 1.0] + [0.0] * 12,
+            },
+        )
+        assert out["A"][:4] == [1.0, 4.0, 2.0, 1.0]
+
+    def test_integer_comparison_uses_icmp(self):
+        source = (
+            "long A[8]; long B[8];\n"
+            "kernel k(n) { A[0] = B[0] >= B[1] ? B[0] : B[1]; }"
+        )
+        module = compile_source(source)
+        opcodes = [inst.opcode for inst in module.function("k").entry]
+        assert Opcode.ICMP in opcodes and Opcode.SELECT in opcodes
+
+    def test_clamp_lanes_vectorize_from_source(self):
+        from repro.machine import DEFAULT_TARGET
+        from repro.vectorizer import SLP_CONFIG, compile_module
+
+        source = (
+            "double A[64]; double B[64]; double C[64];\n"
+            "kernel clamp(n) {\n"
+            "  for (i = 0; i < n; i += 4) {\n"
+            "    A[i+0] = B[i+0] < C[i+0] ? B[i+0] : C[i+0];\n"
+            "    A[i+1] = B[i+1] < C[i+1] ? B[i+1] : C[i+1];\n"
+            "    A[i+2] = B[i+2] < C[i+2] ? B[i+2] : C[i+2];\n"
+            "    A[i+3] = B[i+3] < C[i+3] ? B[i+3] : C[i+3];\n"
+            "  }\n}"
+        )
+        compiled = compile_module(compile_source(source), SLP_CONFIG, DEFAULT_TARGET)
+        assert compiled.report.vectorized_graphs()

@@ -1,0 +1,112 @@
+"""Tests for the parameterized workload generator."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.interp import Interpreter
+from repro.ir import verify_module
+from repro.kernels.generator import (
+    GeneratorSpec,
+    generate_inputs,
+    generate_kernel,
+    sweep_specs,
+)
+from repro.machine import DEFAULT_TARGET
+from repro.vectorizer import ALL_CONFIGS, O3_CONFIG, SNSLP_CONFIG, compile_module
+
+
+class TestSpecValidation:
+    def test_rejects_single_lane(self):
+        with pytest.raises(ValueError):
+            GeneratorSpec(lanes=1)
+
+    def test_rejects_all_minus(self):
+        with pytest.raises(ValueError):
+            GeneratorSpec(terms=3, minus_terms=3)
+
+    def test_rejects_single_term(self):
+        with pytest.raises(ValueError):
+            GeneratorSpec(terms=1, minus_terms=0)
+
+
+class TestGeneratedModules:
+    def test_verifies(self):
+        for spec in sweep_specs():
+            verify_module(generate_kernel(spec))
+
+    def test_deterministic(self):
+        from repro.ir import print_module
+
+        spec = GeneratorSpec(lanes=2, terms=4, minus_terms=2, seed=42)
+        assert print_module(generate_kernel(spec)) == print_module(
+            generate_kernel(spec)
+        )
+
+    def test_seed_changes_shape(self):
+        from repro.ir import print_module
+
+        a = GeneratorSpec(lanes=2, terms=4, minus_terms=2, seed=1)
+        b = GeneratorSpec(lanes=2, terms=4, minus_terms=2, seed=2)
+        assert print_module(generate_kernel(a)) != print_module(
+            generate_kernel(b)
+        )
+
+    def test_all_lanes_compute_same_signed_sum(self):
+        # unshuffled and shuffled variants must produce identical outputs
+        shuffled = GeneratorSpec(lanes=4, terms=5, minus_terms=2, seed=9)
+        plain = GeneratorSpec(
+            lanes=4, terms=5, minus_terms=2, seed=9, shuffle_lanes=False
+        )
+        inputs = generate_inputs(shuffled)
+
+        def run(spec):
+            interp = Interpreter(generate_kernel(spec))
+            for name, values in inputs.items():
+                interp.write_global(name, values)
+            interp.run("kernel", [64])
+            return interp.read_global("OUT")
+
+        for x, y in zip(run(shuffled), run(plain)):
+            assert math.isclose(x, y, rel_tol=1e-9, abs_tol=1e-12)
+
+
+class TestGeneratedVectorization:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        lanes=st.sampled_from([2, 4]),
+        terms=st.integers(2, 6),
+        minus=st.integers(0, 5),
+    )
+    def test_all_configs_correct_on_generated(self, seed, lanes, terms, minus):
+        minus = min(minus, terms - 1)
+        spec = GeneratorSpec(
+            lanes=lanes, terms=terms, minus_terms=minus, seed=seed
+        )
+        module = generate_kernel(spec)
+        inputs = generate_inputs(spec)
+        oracle = None
+        for config in ALL_CONFIGS:
+            compiled = compile_module(module, config, DEFAULT_TARGET)
+            interp = Interpreter(compiled.module)
+            for name, values in inputs.items():
+                interp.write_global(name, values)
+            interp.run("kernel", [64])
+            out = interp.read_global("OUT")
+            if oracle is None:
+                oracle = out
+                continue
+            for x, y in zip(out, oracle):
+                assert math.isclose(x, y, rel_tol=1e-8, abs_tol=1e-9), (
+                    f"spec={spec} config={config.name}"
+                )
+
+    def test_snslp_always_vectorizes_sweep(self):
+        for spec in sweep_specs():
+            compiled = compile_module(
+                generate_kernel(spec), SNSLP_CONFIG, DEFAULT_TARGET
+            )
+            assert compiled.report.vectorized_graphs(), spec

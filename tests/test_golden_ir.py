@@ -1,0 +1,40 @@
+"""Golden-file tests: the motivating kernels' textual IR is pinned.
+
+These catch accidental changes to the printer, the builder helpers or the
+kernels themselves — any of which would silently shift the paper-exact
+cost numbers the headline tests rely on.  Regenerate (after an intentional
+change) with::
+
+    python - <<'PY'
+    from repro.kernels import kernel_named
+    from repro.ir import print_module
+    for name in ("motiv-leaf-reorder", "motiv-trunk-reorder"):
+        open(f"tests/golden/{name}.ir", "w").write(
+            print_module(kernel_named(name).build())
+        )
+    PY
+"""
+
+import pathlib
+
+import pytest
+
+from repro.ir import parse_module, print_module, verify_module
+from repro.kernels import kernel_named
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+GOLDEN_KERNELS = ("motiv-leaf-reorder", "motiv-trunk-reorder")
+
+
+@pytest.mark.parametrize("name", GOLDEN_KERNELS)
+def test_kernel_ir_matches_golden(name):
+    golden = (GOLDEN_DIR / f"{name}.ir").read_text()
+    current = print_module(kernel_named(name).build())
+    assert current == golden
+
+
+@pytest.mark.parametrize("name", GOLDEN_KERNELS)
+def test_golden_files_parse_and_verify(name):
+    module = parse_module((GOLDEN_DIR / f"{name}.ir").read_text())
+    verify_module(module)
+    assert "kernel" in module.functions

@@ -1,0 +1,388 @@
+"""SLP graph construction, cost evaluation and vector codegen tests."""
+
+import pytest
+
+from repro.interp import Interpreter
+from repro.ir import (
+    F64,
+    I64,
+    VOID,
+    Constant,
+    Function,
+    IRBuilder,
+    Module,
+    Opcode,
+    eliminate_dead_code,
+    verify_module,
+    vector_of,
+)
+from repro.machine import DEFAULT_TARGET
+from repro.vectorizer import (
+    NodeKind,
+    SLPVectorizer,
+    SLP_CONFIG,
+    SNSLP_CONFIG,
+    collect_store_seeds,
+    compute_graph_cost,
+    emit_vector_code,
+    is_profitable,
+)
+from repro.vectorizer.slp import _GraphBuilder
+from conftest import build_simple_store_module
+
+
+def _build_graph(module, config=SLP_CONFIG, function_name="kernel"):
+    function = module.function(function_name)
+    vectorizer = SLPVectorizer(DEFAULT_TARGET, config)
+    seeds = collect_store_seeds(function.entry, DEFAULT_TARGET.isa)
+    assert seeds, "test module must contain a seed bundle"
+    builder = _GraphBuilder(vectorizer, seeds[0], function)
+    graph = builder.build()
+    assert graph is not None
+    return graph, function
+
+
+class TestGraphShape:
+    def test_simple_module_fully_vectorizable(self):
+        graph, _ = _build_graph(build_simple_store_module(2))
+        kinds = sorted(n.kind.value for n in graph.nodes)
+        assert kinds == ["load", "load", "store", "vector"]
+        assert graph.gather_nodes() == []
+
+    def test_root_is_store(self):
+        graph, _ = _build_graph(build_simple_store_module(2))
+        assert graph.root.kind is NodeKind.STORE
+        assert graph.root.vec_type is vector_of(F64, 2)
+
+    def test_anchor_is_last_store(self):
+        graph, function = _build_graph(build_simple_store_module(2))
+        assert graph.anchor.opcode is Opcode.STORE
+        stores = [i for i in function.entry if i.opcode is Opcode.STORE]
+        assert graph.anchor is stores[-1]
+
+    def test_dump_is_readable(self):
+        graph, _ = _build_graph(build_simple_store_module(2))
+        text = graph.dump()
+        assert "store" in text and "load" in text
+
+    def test_alt_node_for_mixed_family(self):
+        module = Module("alt")
+        for name in "ABC":
+            module.add_global(name, F64, 64)
+        function = Function("kernel", [("i", I64)], VOID, fast_math=True)
+        module.add_function(function)
+        b = IRBuilder(function.add_block("entry"))
+        i = function.arguments[0]
+        # lane0: B+C  lane1: B-C  (isomorphic operands, alternating opcode)
+        for lane, op in enumerate(("fadd", "fsub")):
+            idx = b.add(i, b.const_i64(lane)) if lane else i
+            lhs = b.load(b.gep(module.global_named("B"), idx))
+            rhs = b.load(b.gep(module.global_named("C"), idx))
+            value = getattr(b, op)(lhs, rhs)
+            b.store(value, b.gep(module.global_named("A"), idx))
+        b.ret()
+        verify_module(module)
+        graph, _ = _build_graph(module)
+        alt = [n for n in graph.nodes if n.kind is NodeKind.ALT]
+        assert len(alt) == 1
+        assert alt[0].lane_opcodes == (Opcode.FADD, Opcode.FSUB)
+
+    def test_gather_for_mixed_opcode_families(self):
+        module = Module("gather")
+        for name in "ABC":
+            module.add_global(name, F64, 64)
+        function = Function("kernel", [("i", I64)], VOID, fast_math=True)
+        module.add_function(function)
+        b = IRBuilder(function.add_block("entry"))
+        i = function.arguments[0]
+        for lane, op in enumerate(("fadd", "fmul")):
+            idx = b.add(i, b.const_i64(lane)) if lane else i
+            lhs = b.load(b.gep(module.global_named("B"), idx))
+            rhs = b.load(b.gep(module.global_named("C"), idx))
+            b.store(getattr(b, op)(lhs, rhs), b.gep(module.global_named("A"), idx))
+        b.ret()
+        graph, _ = _build_graph(module)
+        assert any(
+            n.kind is NodeKind.GATHER and "famil" in n.reason for n in graph.nodes
+        )
+
+
+class TestCost:
+    def test_fully_vectorizable_cost_negative(self):
+        graph, _ = _build_graph(build_simple_store_module(2))
+        total = compute_graph_cost(graph, DEFAULT_TARGET.cost_model)
+        assert total < 0
+        assert is_profitable(graph)
+
+    def test_unit_costs_match_paper_arithmetic(self):
+        # store -1, fadd -1, 2 loads -1 each => -4 at VF=2
+        graph, _ = _build_graph(build_simple_store_module(2))
+        total = compute_graph_cost(graph, DEFAULT_TARGET.cost_model)
+        assert total == -4.0
+
+    def test_wider_bundles_save_more(self):
+        graph2, _ = _build_graph(build_simple_store_module(2))
+        graph4, _ = _build_graph(build_simple_store_module(4))
+        c2 = compute_graph_cost(graph2, DEFAULT_TARGET.cost_model)
+        c4 = compute_graph_cost(graph4, DEFAULT_TARGET.cost_model)
+        assert c4 < c2
+
+    def test_external_use_charges_extract(self):
+        module = build_simple_store_module(2)
+        function = module.function("kernel")
+        # add an external user of the first fadd (after the stores)
+        fadds = [i for i in function.entry if i.opcode is Opcode.FADD]
+        ret = function.entry.instructions[-1]
+        b = IRBuilder()
+        b.position_before(ret)
+        extra = b.fmul(fadds[0], Constant(F64, 2.0))
+        b.store(extra, b.gep(module.global_named("A"), 63))
+        graph, _ = _build_graph(module)
+        total = compute_graph_cost(graph, DEFAULT_TARGET.cost_model)
+        assert total == -4.0 + DEFAULT_TARGET.cost_model.extract_cost
+
+
+class TestCodegen:
+    def _run(self, module, inputs, n=0):
+        interp = Interpreter(module)
+        for name, values in inputs.items():
+            interp.write_global(name, values)
+        interp.run("kernel", [n])
+        return interp.read_global("A")
+
+    def test_vector_code_replaces_scalars(self):
+        module = build_simple_store_module(2)
+        inputs = {"B": [float(k) for k in range(64)], "C": [1.0] * 64}
+        expected = self._run(build_simple_store_module(2), inputs)
+        graph, function = _build_graph(module)
+        compute_graph_cost(graph, DEFAULT_TARGET.cost_model)
+        emit_vector_code(graph)
+        eliminate_dead_code(function)
+        verify_module(module)
+        opcodes = [inst.opcode for inst in function.entry]
+        assert Opcode.STORE in opcodes
+        # exactly one (vector) store remains
+        assert opcodes.count(Opcode.STORE) == 1
+        loads = [inst for inst in function.entry if inst.opcode is Opcode.LOAD]
+        assert all(load.type.is_vector for load in loads)
+        assert self._run(module, inputs) == expected
+
+    def test_external_users_rewired_to_extract(self):
+        module = build_simple_store_module(2)
+        function = module.function("kernel")
+        fadds = [i for i in function.entry if i.opcode is Opcode.FADD]
+        ret = function.entry.instructions[-1]
+        b = IRBuilder()
+        b.position_before(ret)
+        extra = b.fmul(fadds[0], Constant(F64, 2.0))
+        b.store(extra, b.gep(module.global_named("A"), 63))
+        inputs = {"B": [3.0] * 64, "C": [4.0] * 64}
+        graph, _ = _build_graph(module)
+        emit_vector_code(graph)
+        eliminate_dead_code(function)
+        verify_module(module)
+        assert extra.lhs.opcode is Opcode.EXTRACTELEMENT
+        out = self._run(module, inputs)
+        assert out[63] == 14.0  # (3+4)*2
+
+    def test_gather_node_emits_inserts(self):
+        # non-adjacent loads must be gathered via insertelement chain
+        module = Module("g")
+        for name in "AB":
+            module.add_global(name, F64, 64)
+        function = Function("kernel", [("i", I64)], VOID)
+        module.add_function(function)
+        b = IRBuilder(function.add_block("entry"))
+        i = function.arguments[0]
+        l0 = b.load(b.gep(module.global_named("B"), 0))
+        l5 = b.load(b.gep(module.global_named("B"), 5))
+        for lane, val in enumerate((l0, l5)):
+            idx = b.add(i, b.const_i64(lane)) if lane else i
+            v = b.fadd(val, Constant(F64, 1.0))
+            b.store(v, b.gep(module.global_named("A"), idx))
+        b.ret()
+        inputs = {"B": [float(k) for k in range(64)]}
+        expected = [1.0, 6.0]
+        graph, function = _build_graph(module)
+        emit_vector_code(graph)
+        eliminate_dead_code(function)
+        verify_module(module)
+        opcodes = [inst.opcode for inst in function.entry]
+        assert Opcode.INSERTELEMENT in opcodes
+        out = self._run(module, inputs)
+        assert out[:2] == expected
+
+    def test_constant_gather_becomes_vector_constant(self):
+        module = Module("c")
+        module.add_global("A", F64, 64)
+        module.add_global("B", F64, 64)
+        function = Function("kernel", [("i", I64)], VOID)
+        module.add_function(function)
+        b = IRBuilder(function.add_block("entry"))
+        i = function.arguments[0]
+        for lane, c in enumerate((2.0, 3.0)):
+            idx = b.add(i, b.const_i64(lane)) if lane else i
+            v = b.fadd(b.load(b.gep(module.global_named("B"), idx)), Constant(F64, c))
+            b.store(v, b.gep(module.global_named("A"), idx))
+        b.ret()
+        graph, function = _build_graph(module)
+        emit_vector_code(graph)
+        eliminate_dead_code(function)
+        opcodes = [inst.opcode for inst in function.entry]
+        assert Opcode.INSERTELEMENT not in opcodes
+        out = self._run(module, {"B": [1.0] * 64})
+        assert out[:2] == [3.0, 4.0]
+
+    def test_splat_gather_uses_shuffle(self):
+        module = Module("s")
+        module.add_global("A", F64, 64)
+        module.add_global("B", F64, 64)
+        function = Function("kernel", [("i", I64), ("x", F64)], VOID)
+        module.add_function(function)
+        b = IRBuilder(function.add_block("entry"))
+        i, x = function.arguments
+        for lane in range(2):
+            idx = b.add(i, b.const_i64(lane)) if lane else i
+            v = b.fadd(b.load(b.gep(module.global_named("B"), idx)), x)
+            b.store(v, b.gep(module.global_named("A"), idx))
+        b.ret()
+        graph, function = _build_graph(module)
+        emit_vector_code(graph)
+        eliminate_dead_code(function)
+        opcodes = [inst.opcode for inst in function.entry]
+        assert Opcode.SHUFFLEVECTOR in opcodes
+        interp = Interpreter(module)
+        interp.write_global("B", [1.0] * 64)
+        interp.run("kernel", [0, 41.0])
+        assert interp.read_global("A")[:2] == [42.0, 42.0]
+
+
+class TestReversedLoads:
+    def _reversed_module(self):
+        module = Module("rev")
+        for name in "ABC":
+            module.add_global(name, F64, 64)
+        function = Function("kernel", [("i", I64)], VOID, fast_math=True)
+        module.add_function(function)
+        b = IRBuilder(function.add_block("entry"))
+        i = function.arguments[0]
+        idx = {k: (b.add(i, b.const_i64(k)) if k else i) for k in range(4)}
+        for k in range(4):
+            value = b.fadd(
+                b.load(b.gep(module.global_named("B"), idx[3 - k])),
+                b.load(b.gep(module.global_named("C"), idx[k])),
+            )
+            b.store(value, b.gep(module.global_named("A"), idx[k]))
+        b.ret()
+        verify_module(module)
+        return module
+
+    def test_reversed_bundle_detected_and_costed(self):
+        from repro.vectorizer.legality import loads_are_reversed
+
+        module = self._reversed_module()
+        graph, _ = _build_graph(module)
+        load_nodes = [n for n in graph.nodes if n.kind is NodeKind.LOAD]
+        reversed_nodes = [n for n in load_nodes if n.load_reversed]
+        assert len(reversed_nodes) == 1
+        compute_graph_cost(graph, DEFAULT_TARGET.cost_model)
+        straight = next(n for n in load_nodes if not n.load_reversed)
+        # the reversed node pays exactly one shuffle more
+        assert reversed_nodes[0].cost == straight.cost + (
+            DEFAULT_TARGET.cost_model.shuffle_cost
+        )
+
+    def test_reversed_codegen_correct(self):
+        import math
+        import random
+
+        module = self._reversed_module()
+        inputs = {
+            name: [random.Random(name).uniform(-5, 5) for _ in range(64)]
+            for name in "BC"
+        }
+        expected = self._run_module(self._reversed_module(), inputs)
+        graph, function = _build_graph(module)
+        compute_graph_cost(graph, DEFAULT_TARGET.cost_model)
+        emit_vector_code(graph)
+        eliminate_dead_code(function)
+        verify_module(module)
+        opcodes = [inst.opcode for inst in function.entry]
+        assert Opcode.SHUFFLEVECTOR in opcodes
+        got = self._run_module(module, inputs)
+        for x, y in zip(got, expected):
+            assert math.isclose(x, y, rel_tol=1e-12)
+
+    @staticmethod
+    def _run_module(module, inputs):
+        interp = Interpreter(module)
+        for name, values in inputs.items():
+            interp.write_global(name, values)
+        interp.run("kernel", [0])
+        return interp.read_global("A")
+
+
+class TestCmpSelectBundles:
+    def _clamp_module(self):
+        from repro.ir import CmpPredicate
+
+        module = Module("clamp")
+        for name in "ABC":
+            module.add_global(name, F64, 64)
+        function = Function("kernel", [("i", I64)], VOID, fast_math=True)
+        module.add_function(function)
+        b = IRBuilder(function.add_block("entry"))
+        i = function.arguments[0]
+        for k in range(4):
+            idx = b.add(i, b.const_i64(k)) if k else i
+            x = b.load(b.gep(module.global_named("B"), idx))
+            y = b.load(b.gep(module.global_named("C"), idx))
+            cond = b.fcmp(CmpPredicate.LT, x, y)
+            b.store(b.select(cond, x, y), b.gep(module.global_named("A"), idx))
+        b.ret()
+        verify_module(module)
+        return module
+
+    def test_cmp_and_select_vectorize(self):
+        graph, _ = _build_graph(self._clamp_module())
+        assert graph.gather_nodes() == []
+        kinds = [n.kind for n in graph.nodes]
+        assert kinds.count(NodeKind.VECTOR) == 2  # fcmp + select
+
+    def test_shared_operand_bundles_deduplicated(self):
+        # the select's value operands are the same loads the cmp compares:
+        # they must reuse the SAME nodes, not gather
+        graph, _ = _build_graph(self._clamp_module())
+        load_nodes = [n for n in graph.nodes if n.kind is NodeKind.LOAD]
+        assert len(load_nodes) == 2  # B-loads and C-loads, each built once
+
+    def test_clamp_end_to_end(self):
+        import random
+
+        module = self._clamp_module()
+        inputs = {
+            name: [random.Random(name).uniform(-9, 9) for _ in range(64)]
+            for name in "BC"
+        }
+        interp_expected = Interpreter(self._clamp_module())
+        for name, values in inputs.items():
+            interp_expected.write_global(name, values)
+        interp_expected.run("kernel", [0])
+        expected = interp_expected.read_global("A")
+
+        graph, function = _build_graph(module)
+        compute_graph_cost(graph, DEFAULT_TARGET.cost_model)
+        assert is_profitable(graph)
+        emit_vector_code(graph)
+        eliminate_dead_code(function)
+        verify_module(module)
+        interp = Interpreter(module)
+        for name, values in inputs.items():
+            interp.write_global(name, values)
+        interp.run("kernel", [0])
+        assert interp.read_global("A") == expected
+        # vector mask: the fcmp result must be an i1 vector
+        from repro.ir import I1, vector_of as vec
+
+        cmps = [inst for inst in function.entry if inst.opcode is Opcode.FCMP]
+        assert len(cmps) == 1 and cmps[0].type is vec(I1, 4)

@@ -1,0 +1,185 @@
+"""Tests for basic blocks, functions, modules and the IR builder."""
+
+import pytest
+
+from repro.ir import (
+    F64,
+    I64,
+    VOID,
+    CmpPredicate,
+    Constant,
+    Function,
+    IRBuilder,
+    Module,
+    Opcode,
+)
+
+
+def _block_with_builder():
+    function = Function("f", [("a", I64), ("b", I64)], VOID)
+    block = function.add_block("entry")
+    return function, block, IRBuilder(block)
+
+
+class TestBasicBlock:
+    def test_append_sets_parent(self):
+        _, block, builder = _block_with_builder()
+        inst = builder.add(Constant(I64, 1), Constant(I64, 2))
+        assert inst.parent is block
+        assert len(block) == 1
+
+    def test_double_insertion_rejected(self):
+        function, block, builder = _block_with_builder()
+        inst = builder.add(Constant(I64, 1), Constant(I64, 2))
+        other = function.add_block("other")
+        with pytest.raises(ValueError):
+            other.append(inst)
+
+    def test_insert_before_and_order_queries(self):
+        _, block, builder = _block_with_builder()
+        first = builder.add(Constant(I64, 1), Constant(I64, 2))
+        third = builder.add(first, first)
+        builder.position_before(third)
+        second = builder.mul(first, first)
+        assert block.index_of(first) == 0
+        assert block.index_of(second) == 1
+        assert block.index_of(third) == 2
+        assert block.comes_before(first, third)
+        assert not block.comes_before(third, second)
+
+    def test_remove_and_erase(self):
+        _, block, builder = _block_with_builder()
+        a = builder.add(Constant(I64, 1), Constant(I64, 2))
+        b = builder.add(a, a)
+        b.erase_from_parent()
+        assert len(block) == 1
+        assert a.num_uses == 0
+        assert b.parent is None
+
+    def test_move_before(self):
+        _, block, builder = _block_with_builder()
+        a = builder.add(Constant(I64, 1), Constant(I64, 2))
+        b = builder.mul(Constant(I64, 3), Constant(I64, 4))
+        b.move_before(a)
+        assert block.index_of(b) == 0
+
+    def test_terminator_detection(self):
+        _, block, builder = _block_with_builder()
+        assert block.terminator is None
+        builder.ret()
+        assert block.terminator is not None
+
+    def test_phis_listed_first(self):
+        function, _, _ = _block_with_builder()
+        block = function.add_block("loop")
+        builder = IRBuilder(block)
+        phi = builder.phi(I64)
+        builder.add(phi, phi)
+        assert block.phis() == [phi]
+        assert len(block.non_phi_instructions()) == 1
+
+
+class TestFunction:
+    def test_unique_names(self):
+        function = Function("f")
+        assert function.unique_name("t") == "t"
+        assert function.unique_name("t") == "t.1"
+        assert function.unique_name("x") == "x"
+
+    def test_assign_names(self):
+        function, _, builder = _block_with_builder()
+        inst = builder.add(Constant(I64, 1), Constant(I64, 2))
+        function.assign_names()
+        assert inst.name
+
+    def test_entry_requires_blocks(self):
+        with pytest.raises(ValueError):
+            Function("f").entry
+
+    def test_block_lookup(self):
+        function = Function("f")
+        block = function.add_block("start")
+        assert function.block_named("start") is block
+        with pytest.raises(KeyError):
+            function.block_named("missing")
+
+    def test_argument_lookup(self):
+        function = Function("f", [("n", I64)])
+        assert function.argument_named("n").type is I64
+        with pytest.raises(KeyError):
+            function.argument_named("m")
+
+    def test_instruction_count(self):
+        function, _, builder = _block_with_builder()
+        builder.add(Constant(I64, 1), Constant(I64, 2))
+        builder.ret()
+        assert function.instruction_count() == 2
+
+
+class TestModule:
+    def test_function_registry(self):
+        module = Module("m")
+        function = Function("f")
+        module.add_function(function)
+        assert module.function("f") is function
+        with pytest.raises(ValueError):
+            module.add_function(Function("f"))
+        with pytest.raises(KeyError):
+            module.function("g")
+
+    def test_global_registry(self):
+        module = Module("m")
+        g = module.add_global("A", F64, 8)
+        assert module.global_named("A") is g
+        with pytest.raises(ValueError):
+            module.add_global("A", F64, 8)
+        with pytest.raises(KeyError):
+            module.global_named("B")
+
+
+class TestBuilder:
+    def test_gep_accepts_python_int(self):
+        module = Module("m")
+        g = module.add_global("A", F64, 8)
+        _, _, builder = _block_with_builder()
+        gep = builder.gep(g, 3)
+        assert isinstance(gep.index, Constant)
+        assert gep.index.value == 3
+
+    def test_insert_extract_accept_python_int_lane(self):
+        _, _, builder = _block_with_builder()
+        from repro.ir import vector_of
+
+        vec = Constant(vector_of(F64, 2), (1.0, 2.0))
+        ins = builder.insertelement(vec, Constant(F64, 3.0), 1)
+        ext = builder.extractelement(ins, 0)
+        assert ext.type is F64
+
+    def test_no_insertion_point_raises(self):
+        builder = IRBuilder()
+        with pytest.raises(ValueError):
+            builder.ret()
+
+    def test_every_binop_helper(self):
+        _, _, builder = _block_with_builder()
+        i1, i2 = Constant(I64, 6), Constant(I64, 3)
+        f1, f2 = Constant(F64, 6.0), Constant(F64, 3.0)
+        assert builder.add(i1, i2).opcode is Opcode.ADD
+        assert builder.sub(i1, i2).opcode is Opcode.SUB
+        assert builder.mul(i1, i2).opcode is Opcode.MUL
+        assert builder.sdiv(i1, i2).opcode is Opcode.SDIV
+        assert builder.fadd(f1, f2).opcode is Opcode.FADD
+        assert builder.fsub(f1, f2).opcode is Opcode.FSUB
+        assert builder.fmul(f1, f2).opcode is Opcode.FMUL
+        assert builder.fdiv(f1, f2).opcode is Opcode.FDIV
+        assert builder.and_(i1, i2).opcode is Opcode.AND
+        assert builder.or_(i1, i2).opcode is Opcode.OR
+        assert builder.xor(i1, i2).opcode is Opcode.XOR
+        assert builder.shl(i1, i2).opcode is Opcode.SHL
+        assert builder.ashr(i1, i2).opcode is Opcode.ASHR
+
+    def test_cmp_and_select(self):
+        _, _, builder = _block_with_builder()
+        c = builder.icmp(CmpPredicate.LT, Constant(I64, 1), Constant(I64, 2))
+        s = builder.select(c, Constant(I64, 1), Constant(I64, 2))
+        assert s.type is I64

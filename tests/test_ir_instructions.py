@@ -1,0 +1,243 @@
+"""Tests for instruction constructors and opcode algebra."""
+
+import pytest
+
+from repro.ir import (
+    F64,
+    I1,
+    I32,
+    I64,
+    Argument,
+    BasicBlock,
+    Constant,
+    Opcode,
+    base_opcode,
+    inverse_opcode,
+    is_associative,
+    is_commutative,
+    same_operator_family,
+    vector_of,
+    pointer_to,
+)
+from repro.ir.instructions import (
+    AltBinaryInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CmpInst,
+    CmpPredicate,
+    CondBranchInst,
+    ExtractElementInst,
+    GepInst,
+    InsertElementInst,
+    LoadInst,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    ShuffleVectorInst,
+    StoreInst,
+)
+
+
+def _arg(type_=I64, name="x"):
+    return Argument(type_, name, 0)
+
+
+def _ptr(type_=F64, name="p"):
+    return Argument(pointer_to(type_), name, 0)
+
+
+class TestOpcodeAlgebra:
+    def test_commutative(self):
+        assert is_commutative(Opcode.ADD)
+        assert is_commutative(Opcode.FMUL)
+        assert not is_commutative(Opcode.SUB)
+        assert not is_commutative(Opcode.FDIV)
+        assert not is_commutative(Opcode.SHL)
+
+    def test_associative(self):
+        assert is_associative(Opcode.FADD)
+        assert not is_associative(Opcode.FSUB)
+
+    def test_inverse_pairs(self):
+        assert inverse_opcode(Opcode.ADD) is Opcode.SUB
+        assert inverse_opcode(Opcode.FADD) is Opcode.FSUB
+        assert inverse_opcode(Opcode.FMUL) is Opcode.FDIV
+        # integer division does not invert integer multiplication
+        assert inverse_opcode(Opcode.MUL) is None
+
+    def test_base_opcode(self):
+        assert base_opcode(Opcode.SUB) is Opcode.ADD
+        assert base_opcode(Opcode.FDIV) is Opcode.FMUL
+        assert base_opcode(Opcode.FADD) is Opcode.FADD
+
+    def test_same_family(self):
+        assert same_operator_family(Opcode.ADD, Opcode.SUB)
+        assert same_operator_family(Opcode.FMUL, Opcode.FDIV)
+        assert not same_operator_family(Opcode.ADD, Opcode.MUL)
+        assert not same_operator_family(Opcode.FADD, Opcode.FMUL)
+
+
+class TestBinary:
+    def test_result_type(self):
+        a, b = _arg(), Argument(I64, "y", 1)
+        inst = BinaryInst(Opcode.ADD, a, b)
+        assert inst.type is I64
+        assert inst.is_binary
+        assert inst.is_commutative
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            BinaryInst(Opcode.ADD, _arg(I64), _arg(I32))
+
+    def test_non_binary_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryInst(Opcode.LOAD, _arg(), _arg())
+
+    def test_vector_binary(self):
+        v = vector_of(F64, 4)
+        inst = BinaryInst(Opcode.FADD, _arg(v), _arg(v))
+        assert inst.type is v
+
+
+class TestAltBinary:
+    def test_lane_opcodes(self):
+        v = vector_of(F64, 2)
+        inst = AltBinaryInst((Opcode.FADD, Opcode.FSUB), _arg(v), _arg(v))
+        assert inst.lane_opcodes == (Opcode.FADD, Opcode.FSUB)
+        assert inst.type is v
+
+    def test_scalar_rejected(self):
+        with pytest.raises(TypeError):
+            AltBinaryInst((Opcode.FADD,), _arg(F64), _arg(F64))
+
+    def test_lane_count_mismatch(self):
+        v = vector_of(F64, 4)
+        with pytest.raises(ValueError):
+            AltBinaryInst((Opcode.FADD, Opcode.FSUB), _arg(v), _arg(v))
+
+    def test_cross_family_lanes_rejected(self):
+        v = vector_of(F64, 2)
+        with pytest.raises(ValueError):
+            AltBinaryInst((Opcode.FADD, Opcode.FMUL), _arg(v), _arg(v))
+
+
+class TestMemory:
+    def test_load_type_from_pointer(self):
+        inst = LoadInst(_ptr(F64))
+        assert inst.type is F64
+        assert inst.may_read_memory and not inst.may_write_memory
+
+    def test_load_explicit_vector_type(self):
+        inst = LoadInst(_ptr(F64), vector_of(F64, 4))
+        assert inst.type is vector_of(F64, 4)
+
+    def test_load_requires_pointer(self):
+        with pytest.raises(TypeError):
+            LoadInst(_arg(I64))
+
+    def test_store_is_void_and_writes(self):
+        inst = StoreInst(_arg(F64), _ptr(F64))
+        assert inst.type.is_void
+        assert inst.may_write_memory and inst.has_side_effects
+
+    def test_gep(self):
+        inst = GepInst(_ptr(F64), _arg(I64))
+        assert inst.type is pointer_to(F64)
+
+    def test_gep_requires_int_index(self):
+        with pytest.raises(TypeError):
+            GepInst(_ptr(F64), _arg(F64))
+
+
+class TestVectorOps:
+    def test_insertelement(self):
+        v = vector_of(F64, 2)
+        inst = InsertElementInst(_arg(v), _arg(F64), Constant(I32, 0))
+        assert inst.type is v
+
+    def test_insertelement_element_mismatch(self):
+        v = vector_of(F64, 2)
+        with pytest.raises(TypeError):
+            InsertElementInst(_arg(v), _arg(I64), Constant(I32, 0))
+
+    def test_extractelement(self):
+        v = vector_of(I64, 4)
+        inst = ExtractElementInst(_arg(v), Constant(I32, 2))
+        assert inst.type is I64
+
+    def test_shuffle_result_arity_follows_mask(self):
+        v = vector_of(F64, 2)
+        inst = ShuffleVectorInst(_arg(v), _arg(v), [0, 3, 1, 2])
+        assert inst.type is vector_of(F64, 4)
+
+    def test_shuffle_mask_bounds_checked(self):
+        v = vector_of(F64, 2)
+        with pytest.raises(ValueError):
+            ShuffleVectorInst(_arg(v), _arg(v), [0, 4])
+
+
+class TestMisc:
+    def test_cmp_produces_i1(self):
+        inst = CmpInst(Opcode.ICMP, CmpPredicate.LT, _arg(), _arg())
+        assert inst.type is I1
+
+    def test_vector_cmp_produces_i1_vector(self):
+        v = vector_of(I64, 4)
+        inst = CmpInst(Opcode.ICMP, CmpPredicate.EQ, _arg(v), _arg(v))
+        assert inst.type is vector_of(I1, 4)
+
+    def test_select_type(self):
+        inst = SelectInst(_arg(I1, "c"), _arg(F64), _arg(F64))
+        assert inst.type is F64
+
+    def test_select_arm_mismatch(self):
+        with pytest.raises(TypeError):
+            SelectInst(_arg(I1), _arg(F64), _arg(I64))
+
+    def test_cast(self):
+        inst = CastInst(Opcode.SITOFP, _arg(I64), F64)
+        assert inst.type is F64
+
+    def test_call_known_intrinsic(self):
+        inst = CallInst("sqrt", [_arg(F64)])
+        assert inst.type is F64
+        assert inst.callee == "sqrt"
+
+    def test_call_unknown_intrinsic(self):
+        with pytest.raises(ValueError):
+            CallInst("frobnicate", [_arg(F64)])
+
+    def test_call_arity_checked(self):
+        with pytest.raises(ValueError):
+            CallInst("fmin", [_arg(F64)])
+
+    def test_terminators(self):
+        bb = BasicBlock("t")
+        assert BranchInst(bb).is_terminator
+        assert RetInst().is_terminator
+        assert CondBranchInst(_arg(I1), bb, bb).is_terminator
+        assert BranchInst(bb).successors() == [bb]
+        assert RetInst().successors() == []
+
+    def test_condbr_requires_i1(self):
+        bb = BasicBlock("t")
+        with pytest.raises(TypeError):
+            CondBranchInst(_arg(I64), bb, bb)
+
+    def test_phi_incoming(self):
+        bb1, bb2 = BasicBlock("a"), BasicBlock("b")
+        phi = PhiInst(I64)
+        v1, v2 = Constant(I64, 1), Constant(I64, 2)
+        phi.add_incoming(v1, bb1)
+        phi.add_incoming(v2, bb2)
+        assert phi.incoming_for(bb1) is v1
+        assert phi.incoming_for(bb2) is v2
+        with pytest.raises(KeyError):
+            phi.incoming_for(BasicBlock("c"))
+
+    def test_phi_type_checked(self):
+        phi = PhiInst(I64)
+        with pytest.raises(TypeError):
+            phi.add_incoming(Constant(F64, 1.0), BasicBlock("a"))

@@ -1,0 +1,224 @@
+"""Printer/parser round-trip and error handling tests."""
+
+import pytest
+
+from repro.ir import (
+    F64,
+    I64,
+    VOID,
+    CmpPredicate,
+    Constant,
+    Function,
+    IRBuilder,
+    Module,
+    Opcode,
+    ParseError,
+    parse_module,
+    print_module,
+    verify_module,
+    vector_of,
+)
+from conftest import build_simple_store_module
+
+
+def _round_trip(module: Module) -> Module:
+    text = print_module(module)
+    parsed = parse_module(text)
+    verify_module(parsed)
+    assert print_module(parsed) == text
+    return parsed
+
+
+class TestRoundTrip:
+    def test_simple_store_module(self):
+        _round_trip(build_simple_store_module())
+
+    def test_globals_with_initializers(self):
+        module = Module("m")
+        module.add_global("A", I64, 3, [1, -2, 3])
+        module.add_global("B", F64, 2, [0.5, -1.25])
+        function = Function("f", [], VOID)
+        module.add_function(function)
+        IRBuilder(function.add_block("entry")).ret()
+        parsed = _round_trip(module)
+        assert parsed.global_named("A").initializer == [1, -2, 3]
+        assert parsed.global_named("B").initializer == [0.5, -1.25]
+
+    def test_loop_with_phi(self):
+        module = Module("loop")
+        module.add_global("A", F64, 8)
+        function = Function("f", [("n", I64)], VOID)
+        module.add_function(function)
+        entry = function.add_block("entry")
+        header = function.add_block("header")
+        body = function.add_block("body")
+        done = function.add_block("done")
+        b = IRBuilder(entry)
+        b.br(header)
+        b.position_at_end(header)
+        i = b.phi(I64, "i")
+        cond = b.icmp(CmpPredicate.LT, i, function.arguments[0])
+        b.condbr(cond, body, done)
+        b.position_at_end(body)
+        p = b.gep(module.global_named("A"), i)
+        b.store(b.fadd(b.load(p), Constant(F64, 1.0)), p)
+        inc = b.add(i, b.const_i64(1))
+        b.br(header)
+        i.add_incoming(b.const_i64(0), entry)
+        i.add_incoming(inc, body)
+        b.position_at_end(done)
+        b.ret()
+        _round_trip(module)
+
+    def test_vector_instructions(self):
+        module = Module("vec")
+        vt = vector_of(F64, 2)
+        function = Function("f", [("v", vt), ("s", F64)], F64)
+        module.add_function(function)
+        b = IRBuilder(function.add_block("entry"))
+        v, s = function.arguments
+        ins = b.insertelement(v, s, 1)
+        shuf = b.shufflevector(ins, v, [0, 2])
+        alt = b.altbinop([Opcode.FADD, Opcode.FSUB], shuf, v)
+        ext = b.extractelement(alt, 0)
+        b.ret(ext)
+        _round_trip(module)
+
+    def test_calls_and_casts_and_select(self):
+        module = Module("misc")
+        function = Function("f", [("x", F64), ("n", I64)], F64)
+        module.add_function(function)
+        b = IRBuilder(function.add_block("entry"))
+        x, n = function.arguments
+        converted = b.sitofp(n, F64)
+        root = b.call("fmax", [b.call("sqrt", [x]), converted])
+        cond = b.fcmp(CmpPredicate.GT, root, Constant(F64, 0.0))
+        picked = b.select(cond, root, x)
+        b.ret(picked)
+        _round_trip(module)
+
+    def test_vector_constant_operand(self):
+        module = Module("vconst")
+        vt = vector_of(I64, 2)
+        function = Function("f", [("v", vt)], vt)
+        module.add_function(function)
+        b = IRBuilder(function.add_block("entry"))
+        total = b.add(function.arguments[0], Constant(vt, (1, -2)))
+        b.ret(total)
+        parsed = _round_trip(module)
+        inst = parsed.function("f").entry.instructions[0]
+        assert isinstance(inst.rhs, Constant)
+        assert inst.rhs.value == (1, -2)
+
+    def test_ret_before_label_not_misparsed(self):
+        # `ret` followed by a new block label must parse as a void return.
+        module = Module("m")
+        function = Function("f", [], VOID)
+        module.add_function(function)
+        b = IRBuilder(function.add_block("one"))
+        two = function.add_block("two")
+        b.ret()
+        IRBuilder(two).ret()
+        text = print_module(module)
+        parsed = parse_module(text)
+        assert len(parsed.function("f").blocks) == 2
+
+
+class TestParseErrors:
+    def test_unknown_instruction(self):
+        with pytest.raises(ParseError):
+            parse_module(
+                "module m\nfunc @f() -> void {\nentry:\n  frob i64 %a, %b\n}\n"
+            )
+
+    def test_undefined_value(self):
+        with pytest.raises(ParseError, match="undefined"):
+            parse_module(
+                "module m\nfunc @f() -> void {\nentry:\n"
+                "  %x = add i64 %missing, 1\n  ret\n}\n"
+            )
+
+    def test_redefinition(self):
+        with pytest.raises(ParseError, match="redefinition"):
+            parse_module(
+                "module m\nfunc @f() -> void {\nentry:\n"
+                "  %x = add i64 1, 2\n  %x = add i64 3, 4\n  ret\n}\n"
+            )
+
+    def test_branch_to_undefined_block(self):
+        with pytest.raises(ParseError):
+            parse_module(
+                "module m\nfunc @f() -> void {\nentry:\n  br %nowhere\n}\n"
+            )
+
+    def test_unknown_global(self):
+        with pytest.raises(ParseError, match="unknown global"):
+            parse_module(
+                "module m\nfunc @f() -> void {\nentry:\n"
+                "  %p = gep f64* @A, i64 0\n  ret\n}\n"
+            )
+
+    def test_type_mismatch_on_forward_reference(self):
+        with pytest.raises(ParseError):
+            parse_module(
+                "module m\nfunc @f() -> void {\nentry:\n"
+                "  %y = add i64 %x, 1\n  %x = fadd f64 1.0, 2.0\n  ret\n}\n"
+            )
+
+    def test_named_void_instruction_rejected(self):
+        with pytest.raises(ParseError):
+            parse_module(
+                "module m\nglobal @A : f64 x 4\n"
+                "func @f() -> void {\nentry:\n"
+                "  %p = gep f64* @A, i64 0\n"
+                "  %s = store f64 1.0, f64* %p\n  ret\n}\n"
+            )
+
+    def test_garbage_character(self):
+        with pytest.raises(ParseError):
+            parse_module("module m\n$$$\n")
+
+    def test_comments_allowed(self):
+        parsed = parse_module(
+            "module m\n# a comment\nfunc @f() -> void {\nentry:\n  ret\n}\n"
+        )
+        assert "f" in parsed.functions
+
+
+class TestPrintAfterTransform:
+    """Regression: modules that were parsed and then *modified* must print
+    parseable text — fresh auto-names must not collide with parsed ones."""
+
+    def test_vectorized_parsed_module_round_trips(self):
+        from repro.kernels import kernel_named
+        from repro.machine import DEFAULT_TARGET
+        from repro.vectorizer import SNSLP_CONFIG, compile_module
+
+        kernel = kernel_named("motiv-trunk-reorder")
+        compiled = compile_module(kernel.build(), SNSLP_CONFIG, DEFAULT_TARGET)
+        text = print_module(compiled.module)  # parsed clone + new vector code
+        reparsed = parse_module(text)
+        verify_module(reparsed)
+        assert print_module(reparsed) == text
+
+    def test_assign_names_respects_existing(self):
+        from repro.ir import Function, IRBuilder, Module, Constant, I64, VOID
+
+        module = Module("m")
+        function = Function("f", [], VOID)
+        module.add_function(function)
+        builder = IRBuilder(function.add_block("entry"))
+        named = builder.add(Constant(I64, 1), Constant(I64, 2), name="t")
+        fresh = builder.add(named, named)  # unnamed; must not become "t"
+        builder.ret()
+        function.assign_names()
+        assert named.name == "t"
+        assert fresh.name and fresh.name != "t"
+
+    def test_add_block_respects_parsed_labels(self):
+        module = parse_module(
+            "module m\nfunc @f() -> void {\nentry:\n  ret\n}\n"
+        )
+        function = module.function("f")
+        block = function.add_block("entry")
+        assert block.name != "entry"

@@ -1,0 +1,148 @@
+"""Tests for the IR type system."""
+
+import pytest
+
+from repro.ir import (
+    F32,
+    F64,
+    I1,
+    I8,
+    I32,
+    I64,
+    VOID,
+    FloatType,
+    IntType,
+    PointerType,
+    VectorType,
+    parse_type,
+    pointer_to,
+    vector_of,
+)
+
+
+class TestInterning:
+    def test_int_types_are_interned(self):
+        assert IntType(32) is IntType(32)
+        assert IntType(32) is I32
+
+    def test_float_types_are_interned(self):
+        assert FloatType(64) is F64
+
+    def test_vector_types_are_interned(self):
+        assert vector_of(F64, 4) is vector_of(F64, 4)
+
+    def test_pointer_types_are_interned(self):
+        assert pointer_to(F32) is pointer_to(F32)
+
+    def test_distinct_types_are_distinct(self):
+        assert IntType(32) is not IntType(64)
+        assert vector_of(F64, 2) is not vector_of(F64, 4)
+        assert vector_of(F64, 2) is not vector_of(F32, 2)
+
+
+class TestPredicates:
+    def test_void(self):
+        assert VOID.is_void
+        assert not VOID.is_scalar
+
+    def test_integer(self):
+        assert I64.is_integer and I64.is_scalar
+        assert not I64.is_float and not I64.is_vector
+
+    def test_float(self):
+        assert F32.is_float and F32.is_scalar
+
+    def test_vector(self):
+        v = vector_of(I32, 8)
+        assert v.is_vector and not v.is_scalar
+        assert v.scalar_type() is I32
+
+    def test_pointer(self):
+        p = pointer_to(F64)
+        assert p.is_pointer
+        assert p.pointee is F64
+
+
+class TestWidths:
+    def test_bit_widths(self):
+        assert I1.bit_width == 1
+        assert I64.bit_width == 64
+        assert F32.bit_width == 32
+        assert vector_of(F64, 4).bit_width == 256
+        assert pointer_to(I8).bit_width == 64
+        assert VOID.bit_width == 0
+
+    def test_byte_widths(self):
+        assert I1.byte_width == 1
+        assert I64.byte_width == 8
+        assert vector_of(F32, 4).byte_width == 16
+
+
+class TestIntSemantics:
+    def test_wrap_positive_overflow(self):
+        assert I8.wrap(130) == -126
+
+    def test_wrap_negative_overflow(self):
+        assert I8.wrap(-130) == 126
+
+    def test_wrap_identity_in_range(self):
+        assert I32.wrap(12345) == 12345
+        assert I32.wrap(-12345) == -12345
+
+    def test_min_max(self):
+        assert I8.min_value() == -128
+        assert I8.max_value() == 127
+        assert I1.min_value() == 0
+        assert I1.max_value() == 1
+
+
+class TestValidation:
+    def test_invalid_int_width(self):
+        with pytest.raises(ValueError):
+            IntType(24)
+
+    def test_invalid_float_width(self):
+        with pytest.raises(ValueError):
+            FloatType(16)
+
+    def test_vector_of_vector_rejected(self):
+        with pytest.raises(ValueError):
+            VectorType(vector_of(F64, 2), 2)
+
+    def test_vector_length_one_rejected(self):
+        with pytest.raises(ValueError):
+            vector_of(F64, 1)
+
+    def test_pointer_to_void_rejected(self):
+        with pytest.raises(ValueError):
+            PointerType(VOID)
+
+    def test_pointer_to_pointer_rejected(self):
+        with pytest.raises(ValueError):
+            PointerType(pointer_to(F64))
+
+
+class TestParseType:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("void", VOID),
+            ("i1", I1),
+            ("i64", I64),
+            ("f32", F32),
+            ("f64*", pointer_to(F64)),
+            ("<4 x f64>", vector_of(F64, 4)),
+            ("<2 x i32>", vector_of(I32, 2)),
+            ("<2 x f32>*", pointer_to(vector_of(F32, 2))),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert parse_type(text) is expected
+
+    def test_round_trip(self):
+        for type_ in (VOID, I32, F64, vector_of(I64, 4), pointer_to(F32)):
+            assert parse_type(str(type_)) is type_
+
+    def test_parse_garbage(self):
+        with pytest.raises(ValueError):
+            parse_type("x77")

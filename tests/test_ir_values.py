@@ -1,0 +1,143 @@
+"""Tests for values, constants and use-def bookkeeping."""
+
+import math
+
+import pytest
+
+from repro.ir import (
+    F32,
+    F64,
+    I8,
+    I64,
+    Argument,
+    Constant,
+    GlobalBuffer,
+    Opcode,
+    vector_of,
+)
+from repro.ir.instructions import BinaryInst
+
+
+def _args(n=3, type_=I64):
+    return [Argument(type_, f"a{i}", i) for i in range(n)]
+
+
+class TestConstants:
+    def test_int_constant_wraps(self):
+        assert Constant(I8, 300).value == 44
+
+    def test_float_constant_f32_rounds(self):
+        # 0.1 is not representable in binary32; the payload must round.
+        c = Constant(F32, 0.1)
+        assert c.value != 0.1
+        assert math.isclose(c.value, 0.1, rel_tol=1e-7)
+
+    def test_float_constant_f64_exact(self):
+        assert Constant(F64, 0.1).value == 0.1
+
+    def test_vector_constant(self):
+        c = Constant(vector_of(I64, 3), (1, 2, 3))
+        assert c.value == (1, 2, 3)
+
+    def test_vector_constant_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            Constant(vector_of(I64, 2), (1, 2, 3))
+
+    def test_int_constant_requires_int(self):
+        with pytest.raises(TypeError):
+            Constant(I64, 1.5)
+
+    def test_equality_and_hash(self):
+        assert Constant(I64, 5) == Constant(I64, 5)
+        assert Constant(I64, 5) != Constant(I64, 6)
+        assert hash(Constant(F64, 2.0)) == hash(Constant(F64, 2.0))
+
+    def test_nan_constants_hashable(self):
+        a = Constant(F64, float("nan"))
+        b = Constant(F64, float("nan"))
+        assert a == b  # NaN-keyed equality is identity-of-key, not IEEE
+
+    def test_is_zero(self):
+        assert Constant(I64, 0).is_zero()
+        assert Constant(vector_of(F64, 2), (0.0, 0.0)).is_zero()
+        assert not Constant(I64, 1).is_zero()
+
+    def test_ref_formats(self):
+        assert Constant(I64, -3).ref() == "-3"
+        assert Constant(vector_of(I64, 2), (1, 2)).ref() == "<1, 2>"
+
+
+class TestUseDef:
+    def test_operands_recorded(self):
+        a, b, _ = _args()
+        inst = BinaryInst(Opcode.ADD, a, b)
+        assert inst.operands == (a, b)
+        assert a.num_uses == 1
+        assert b.num_uses == 1
+        assert list(a.users()) == [inst]
+
+    def test_set_operand_updates_uses(self):
+        a, b, c = _args()
+        inst = BinaryInst(Opcode.ADD, a, b)
+        inst.set_operand(0, c)
+        assert inst.operand(0) is c
+        assert a.num_uses == 0
+        assert c.num_uses == 1
+
+    def test_set_operand_same_value_noop(self):
+        a, b, _ = _args()
+        inst = BinaryInst(Opcode.ADD, a, b)
+        inst.set_operand(0, a)
+        assert a.num_uses == 1
+
+    def test_swap_operands(self):
+        a, b, _ = _args()
+        inst = BinaryInst(Opcode.ADD, a, b)
+        inst.swap_operands(0, 1)
+        assert inst.operands == (b, a)
+        assert a.num_uses == 1 and b.num_uses == 1
+
+    def test_duplicate_operand_uses_counted(self):
+        a, _, _ = _args()
+        inst = BinaryInst(Opcode.ADD, a, a)
+        assert a.num_uses == 2
+        assert a.unique_users() == [inst]
+
+    def test_rauw(self):
+        a, b, c = _args()
+        add1 = BinaryInst(Opcode.ADD, a, b)
+        add2 = BinaryInst(Opcode.ADD, add1, add1)
+        add1.replace_all_uses_with(c)
+        assert add2.operands == (c, c)
+        assert add1.num_uses == 0
+        assert c.num_uses == 2
+
+    def test_rauw_self_is_noop(self):
+        a, b, _ = _args()
+        add1 = BinaryInst(Opcode.ADD, a, b)
+        BinaryInst(Opcode.ADD, add1, add1)
+        add1.replace_all_uses_with(add1)
+        assert add1.num_uses == 2
+
+    def test_drop_all_references(self):
+        a, b, _ = _args()
+        inst = BinaryInst(Opcode.ADD, a, b)
+        inst.drop_all_references()
+        assert a.num_uses == 0
+        assert inst.num_operands == 0
+
+
+class TestGlobalBuffer:
+    def test_pointer_typed(self):
+        g = GlobalBuffer("A", F64, 16)
+        assert g.type.is_pointer
+        assert g.type.pointee is F64
+        assert g.ref() == "@A"
+
+    def test_initializer_length_checked(self):
+        with pytest.raises(ValueError):
+            GlobalBuffer("A", F64, 4, [1.0, 2.0])
+
+    def test_initializer_stored(self):
+        g = GlobalBuffer("A", I64, 3, [1, 2, 3])
+        assert g.initializer == [1, 2, 3]

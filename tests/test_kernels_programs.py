@@ -1,0 +1,129 @@
+"""Kernel suite and composite program tests."""
+
+import random
+
+import pytest
+
+from repro.interp import Interpreter
+from repro.ir import verify_module
+from repro.kernels import all_kernels, kernel_named, kernels_by_origin, table1_rows
+from repro.kernels.programs import PROGRAMS, Program, add_bulk_function, program_named
+from repro.machine import DEFAULT_TARGET
+from repro.sim import simulate
+from repro.vectorizer import ALL_CONFIGS, O3_CONFIG, SNSLP_CONFIG, compile_module
+
+
+class TestRegistry:
+    def test_suite_is_nonempty_and_unique(self):
+        kernels = all_kernels()
+        assert len(kernels) >= 12
+        names = [k.name for k in kernels]
+        assert len(names) == len(set(names))
+
+    def test_lookup(self):
+        assert kernel_named("milc-su3-cmul").origin.startswith("433.milc")
+        with pytest.raises(KeyError):
+            kernel_named("does-not-exist")
+
+    def test_by_origin(self):
+        assert len(kernels_by_origin("SPEC CPU2006")) >= 7
+        assert kernels_by_origin("motivating")
+
+    def test_table1_rows_have_required_columns(self):
+        rows = table1_rows()
+        assert len(rows) == len(all_kernels())
+        for row in rows:
+            assert set(row) == {"kernel", "origin", "pattern", "description"}
+
+
+class TestKernelModules:
+    @pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: k.name)
+    def test_build_verifies(self, kernel):
+        verify_module(kernel.build())
+
+    @pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: k.name)
+    def test_builds_are_independent(self, kernel):
+        a = kernel.build()
+        b = kernel.build()
+        assert a is not b
+        assert a.function(kernel.function) is not b.function(kernel.function)
+
+    @pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: k.name)
+    def test_inputs_deterministic(self, kernel):
+        one = kernel.make_inputs(random.Random(5))
+        two = kernel.make_inputs(random.Random(5))
+        assert one == two
+
+    @pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: k.name)
+    def test_inputs_cover_output_globals(self, kernel):
+        module = kernel.build()
+        for name in kernel.output_globals:
+            assert name in module.globals
+
+    @pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: k.name)
+    def test_runs_under_interpreter(self, kernel):
+        module = kernel.build()
+        interp = Interpreter(module)
+        for name, values in kernel.make_inputs(random.Random(1)).items():
+            interp.write_global(name, values)
+        interp.run(kernel.function, [min(kernel.trip_count, 16)])
+
+
+class TestPrograms:
+    def test_six_spec_benchmarks(self):
+        names = [p.name for p in PROGRAMS]
+        assert names == [
+            "433.milc",
+            "444.namd",
+            "447.dealII",
+            "450.soplex",
+            "453.povray",
+            "482.sphinx3",
+        ]
+
+    def test_lookup(self):
+        assert program_named("433.milc").kernel.name == "milc-su3-cmul"
+        with pytest.raises(KeyError):
+            program_named("429.mcf")
+
+    def test_build_contains_kernel_and_bulk(self):
+        module = program_named("433.milc").build()
+        verify_module(module)
+        assert "kernel" in module.functions
+        assert "bulk" in module.functions
+        assert "BULK" in module.globals
+
+    def test_bulk_is_never_vectorized(self):
+        module = program_named("433.milc").build()
+        compiled = compile_module(module, SNSLP_CONFIG, DEFAULT_TARGET)
+        bulk_graphs = [
+            g
+            for f in compiled.report.functions
+            if f.name == "bulk"
+            for g in f.graphs
+            if g.vectorized
+        ]
+        assert bulk_graphs == []
+
+    def test_bulk_cycles_identical_across_configs(self):
+        program = program_named("444.namd")
+        cycles = set()
+        for config in (O3_CONFIG, SNSLP_CONFIG):
+            compiled = compile_module(program.build(), config, DEFAULT_TARGET)
+            sim = simulate(compiled.module, "bulk", DEFAULT_TARGET, [512])
+            cycles.add(sim.cycles)
+        assert len(cycles) == 1
+
+    def test_bulk_recurrence_semantics(self):
+        module = program_named("433.milc").build()
+        interp = Interpreter(module)
+        interp.write_global("BULK", [1.0] * 4096)
+        interp.run("bulk", [3])
+        out = interp.read_global("BULK")
+        assert out[0] == 1.0
+        assert out[1] == pytest.approx(1.0 * 0.875 + 1.0)
+        assert out[2] == pytest.approx(out[1] * 0.875 + 1.0)
+
+    def test_kernel_fractions_small(self):
+        for program in PROGRAMS:
+            assert 0 < program.kernel_fraction < 0.1

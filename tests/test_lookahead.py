@@ -1,0 +1,128 @@
+"""Look-ahead scoring tests (LSLP heuristics)."""
+
+import pytest
+
+from repro.ir import (
+    F64,
+    I64,
+    VOID,
+    Constant,
+    Function,
+    IRBuilder,
+    Module,
+)
+from repro.vectorizer import LookAheadScorer, ScoreTable
+
+
+def _env():
+    module = Module("m")
+    for name in "AB":
+        module.add_global(name, F64, 64)
+    function = Function("f", [("i", I64)], VOID)
+    module.add_function(function)
+    builder = IRBuilder(function.add_block("entry"))
+    i = function.arguments[0]
+
+    def load(name, off):
+        idx = builder.add(i, builder.const_i64(off)) if off else i
+        return builder.load(builder.gep(module.global_named(name), idx))
+
+    return builder, load
+
+
+class TestLeafScores:
+    def test_consecutive_loads_score_highest(self):
+        _, load = _env()
+        scorer = LookAheadScorer()
+        a0, a1 = load("A", 0), load("A", 1)
+        b5 = load("B", 5)
+        assert scorer.score_pair(a0, a1) == scorer.table.consecutive_loads
+        assert scorer.score_pair(a0, b5) == scorer.table.fail
+
+    def test_reversed_loads(self):
+        _, load = _env()
+        scorer = LookAheadScorer()
+        a0, a1 = load("A", 0), load("A", 1)
+        assert scorer.score_pair(a1, a0) == scorer.table.reversed_loads
+
+    def test_splat(self):
+        _, load = _env()
+        scorer = LookAheadScorer()
+        a0 = load("A", 0)
+        assert scorer.score_pair(a0, a0) == scorer.table.splat
+
+    def test_constants(self):
+        scorer = LookAheadScorer()
+        assert (
+            scorer.score_pair(Constant(F64, 1.0), Constant(F64, 2.0))
+            == scorer.table.constants
+        )
+
+    def test_mismatched_types_fail(self):
+        builder, load = _env()
+        scorer = LookAheadScorer()
+        a0 = load("A", 0)
+        n = Constant(I64, 1)
+        assert scorer.score_pair(a0, n) == scorer.table.fail
+
+
+class TestRecursiveScores:
+    def test_same_opcode_with_matching_operands_beats_bare_match(self):
+        builder, load = _env()
+        scorer = LookAheadScorer(depth=2)
+        good_l = builder.fadd(load("A", 0), load("B", 0))
+        good_r = builder.fadd(load("A", 1), load("B", 1))
+        bad_r = builder.fadd(Constant(F64, 1.0), Constant(F64, 2.0))
+        assert scorer.score_pair(good_l, good_r) > scorer.score_pair(good_l, bad_r)
+
+    def test_commutative_crossed_pairing_found(self):
+        builder, load = _env()
+        scorer = LookAheadScorer(depth=2)
+        left = builder.fadd(load("A", 0), load("B", 0))
+        crossed = builder.fadd(load("B", 1), load("A", 1))
+        straight = builder.fadd(load("A", 1), load("B", 1))
+        # the crossed operand order should score as high as the straight one
+        assert scorer.score_pair(left, crossed) == scorer.score_pair(left, straight)
+
+    def test_depth_zero_ignores_operands(self):
+        builder, load = _env()
+        shallow = LookAheadScorer(depth=0)
+        good = builder.fadd(load("A", 0), load("B", 0))
+        also_good = builder.fadd(load("A", 1), load("B", 1))
+        unrelated = builder.fadd(Constant(F64, 1.0), Constant(F64, 2.0))
+        assert shallow.score_pair(good, also_good) == shallow.score_pair(
+            good, unrelated
+        )
+
+    def test_same_family_scores_between_same_opcode_and_fail(self):
+        builder, load = _env()
+        scorer = LookAheadScorer(depth=0)
+        add = builder.fadd(load("A", 0), load("B", 0))
+        add2 = builder.fadd(load("A", 1), load("B", 1))
+        sub = builder.fsub(load("A", 1), load("B", 1))
+        mul = builder.fmul(load("A", 1), load("B", 1))
+        assert scorer.score_pair(add, add2) > scorer.score_pair(add, sub)
+        assert scorer.score_pair(add, sub) > scorer.score_pair(add, mul)
+
+    def test_intrinsic_callee_must_match(self):
+        builder, load = _env()
+        scorer = LookAheadScorer()
+        sqrt = builder.call("sqrt", [load("A", 0)])
+        fabs = builder.call("fabs", [load("A", 1)])
+        sqrt2 = builder.call("sqrt", [load("A", 1)])
+        assert scorer.score_pair(sqrt, fabs) == scorer.table.fail
+        assert scorer.score_pair(sqrt, sqrt2) > 0
+
+
+class TestGroupScore:
+    def test_group_score_sums_consecutive_pairs(self):
+        _, load = _env()
+        scorer = LookAheadScorer()
+        lanes = [load("A", 0), load("A", 1), load("A", 2), load("A", 3)]
+        assert scorer.score_group(lanes) == 3 * scorer.table.consecutive_loads
+
+    def test_custom_table(self):
+        table = ScoreTable(consecutive_loads=100)
+        _, load = _env()
+        scorer = LookAheadScorer(table=table)
+        assert scorer.score_pair(load("A", 0), load("A", 1)) == 100

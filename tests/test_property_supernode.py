@@ -1,0 +1,174 @@
+"""Property-based tests for the Super-Node reordering machinery.
+
+The central invariant of the whole paper: *every* sequence of legal leaf
+placements and trunk swaps must preserve the lane's value.  Hypothesis
+generates random chain shapes (random add/sub or mul/div trees) and random
+move requests; the model must either refuse a move or preserve semantics.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import (
+    F64,
+    I64,
+    VOID,
+    Function,
+    IRBuilder,
+    Module,
+    Opcode,
+)
+from repro.vectorizer import build_lane_chain
+from repro.vectorizer.supernode import LaneChain
+
+
+def _random_chain(seed: int, family: str, max_depth: int):
+    """Build a random expression tree rooted at a binary op of `family`."""
+    rng = random.Random(seed)
+    module = Module("m")
+    function = Function("f", [("i", I64)], VOID, fast_math=True)
+    module.add_function(function)
+    builder = IRBuilder(function.add_block("entry"))
+    counter = [0]
+
+    def fresh_leaf():
+        counter[0] += 1
+        name = f"L{counter[0]}"
+        module.add_global(name, F64 if family == "fmul" else I64, 8)
+        return builder.load(builder.gep(module.global_named(name), 0), name=name)
+
+    ops = ("add", "sub") if family == "add" else ("fmul", "fdiv")
+
+    def grow(depth):
+        if depth <= 0 or (depth < max_depth and rng.random() < 0.3):
+            return fresh_leaf()
+        op = rng.choice(ops)
+        lhs = grow(depth - 1)
+        rhs = grow(depth - 1)
+        return getattr(builder, op)(lhs, rhs)
+
+    # force a binary root of the right family with at least one nested op
+    op = rng.choice(ops)
+    lhs = getattr(builder, rng.choice(ops))(grow(max_depth - 2), grow(max_depth - 2))
+    root = getattr(builder, op)(lhs, grow(max_depth - 1))
+    builder.store(
+        root,
+        builder.gep(module.global_named(fresh_leaf().name), 1),
+    )
+    builder.ret()
+    return root
+
+
+def _env_for(chain: LaneChain, rng: random.Random, multiplicative: bool):
+    lo, hi = (0.5, 2.0) if multiplicative else (-50, 50)
+    env = {}
+    for value in chain.leaf_values():
+        if id(value) not in env:
+            env[id(value)] = rng.uniform(lo, hi)
+    return env
+
+
+def _values_close(a: float, b: float, multiplicative: bool) -> bool:
+    if multiplicative:
+        return math.isclose(a, b, rel_tol=1e-9)
+    return math.isclose(a, b, rel_tol=1e-12, abs_tol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    family=st.sampled_from(["add", "fmul"]),
+    target_index=st.integers(0, 20),
+    leaf_index=st.integers(0, 20),
+)
+def test_place_leaf_preserves_semantics(seed, family, target_index, leaf_index):
+    root = _random_chain(seed, family, max_depth=4)
+    chain = build_lane_chain(root, allow_inverse=True, fast_math=True)
+    if chain is None:
+        return  # degenerate shape: nothing to test
+    slots = chain.slots()
+    target = slots[target_index % len(slots)]
+    leaves = chain.leaf_values()
+    leaf = leaves[leaf_index % len(leaves)]
+    rng = random.Random(seed + 1)
+    env = _env_for(chain, rng, multiplicative=(family == "fmul"))
+    before = chain.evaluate(env)
+    moved = chain.place_leaf(leaf, target)
+    after = chain.evaluate(env)
+    assert _values_close(before, after, family == "fmul")
+    if moved:
+        assert chain.leaf_at(target).value is leaf
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    family=st.sampled_from(["add", "fmul"]),
+    pick=st.integers(0, 50),
+)
+def test_trunk_swap_preserves_semantics_and_apos(seed, family, pick):
+    root = _random_chain(seed, family, max_depth=4)
+    chain = build_lane_chain(root, allow_inverse=True, fast_math=True)
+    if chain is None or chain.size() < 2:
+        return
+    paths = [path for path, _ in chain.trunks()]
+    rng = random.Random(seed + 2)
+    a = paths[pick % len(paths)]
+    b = paths[(pick // len(paths) + 1) % len(paths)]
+    env = _env_for(chain, rng, multiplicative=(family == "fmul"))
+    before_value = chain.evaluate(env)
+    before_apos = {
+        id(chain.leaf_at(slot)): chain.slot_apo(slot) for slot in chain.slots()
+    }
+    swapped = chain.try_swap_trunks(a, b)
+    after_value = chain.evaluate(env)
+    assert _values_close(before_value, after_value, family == "fmul")
+    if swapped:
+        after_apos = {
+            id(chain.leaf_at(slot)): chain.slot_apo(slot) for slot in chain.slots()
+        }
+        # leaves moved but every leaf object's APO must be unchanged
+        assert before_apos == after_apos
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), family=st.sampled_from(["add", "fmul"]))
+def test_signed_terms_invariant_under_any_legal_move_sequence(seed, family):
+    """The multiset of (APO, leaf) pairs fully determines the lane's value;
+    legal moves may permute it but never change it."""
+    root = _random_chain(seed, family, max_depth=4)
+    chain = build_lane_chain(root, allow_inverse=True, fast_math=True)
+    if chain is None:
+        return
+    def term_key(chain):
+        return sorted(
+            (apo, id(value)) for apo, value in chain.signed_terms()
+        )
+    before = term_key(chain)
+    rng = random.Random(seed + 3)
+    slots = chain.slots()
+    leaves = chain.leaf_values()
+    for _ in range(5):
+        leaf = rng.choice(leaves)
+        target = rng.choice(slots)
+        chain.place_leaf(leaf, target)
+    assert term_key(chain) == before
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_clone_isolation(seed):
+    root = _random_chain(seed, "add", max_depth=3)
+    chain = build_lane_chain(root, allow_inverse=True, fast_math=True)
+    if chain is None:
+        return
+    rng = random.Random(seed)
+    env = _env_for(chain, rng, multiplicative=False)
+    copy = chain.clone()
+    before = copy.evaluate(env)
+    slots = chain.slots()
+    chain.swap_leaves(slots[0], slots[-1])  # raw, possibly illegal
+    assert copy.evaluate(env) == before

@@ -1,0 +1,325 @@
+"""Horizontal-reduction vectorization tests (-slp-vectorize-hor)."""
+
+import math
+import random
+
+import pytest
+
+from repro.interp import Interpreter
+from repro.ir import (
+    F64,
+    I64,
+    VOID,
+    Constant,
+    Function,
+    IRBuilder,
+    Module,
+    Opcode,
+    eliminate_dead_code,
+    verify_module,
+)
+from repro.machine import DEFAULT_TARGET, SCALAR
+from repro.vectorizer import (
+    LSLP_CONFIG,
+    O3_CONFIG,
+    SLP_CONFIG,
+    SNSLP_CONFIG,
+    compile_module,
+)
+from repro.vectorizer.reduction import (
+    MIN_REDUCTION_LEAVES,
+    ReductionCandidate,
+    _order_group,
+    find_reduction_candidates,
+    plan_reduction,
+)
+from repro.vectorizer.slp import SLPVectorizer, _GraphBuilder
+
+
+def _straightline_module(chain_builder, arrays="BWKS"):
+    module = Module("red")
+    for name in arrays:
+        module.add_global(name, F64, 256)
+    function = Function("kernel", [("i", I64)], VOID, fast_math=True)
+    module.add_function(function)
+    builder = IRBuilder(function.add_block("entry"))
+    i = function.arguments[0]
+
+    def load(name, off=0):
+        idx = builder.add(i, builder.const_i64(off)) if off else i
+        return builder.load(builder.gep(module.global_named(name), idx))
+
+    root = chain_builder(builder, load)
+    builder.store(root, builder.gep(module.global_named("S"), i))
+    builder.ret()
+    verify_module(module)
+    return module, function, root
+
+
+def _sum_of_loads(n):
+    def build(b, load):
+        acc = load("B", 0)
+        for k in range(1, n):
+            acc = b.fadd(acc, load("B", k))
+        return acc
+
+    return build
+
+
+def _dot_product(n):
+    def build(b, load):
+        acc = b.fmul(load("B", 0), load("W", 0))
+        for k in range(1, n):
+            acc = b.fadd(acc, b.fmul(load("B", k), load("W", k)))
+        return acc
+
+    return build
+
+
+class TestDetection:
+    def test_sum_chain_detected(self):
+        module, function, root = _straightline_module(_sum_of_loads(4))
+        candidates = find_reduction_candidates(
+            function.entry, allow_inverse=True, fast_math=True, consumed_ids=set()
+        )
+        assert len(candidates) == 1
+        assert candidates[0].root is root
+        assert candidates[0].leaf_count == 4
+        assert not candidates[0].minus_leaves
+
+    def test_short_chain_rejected(self):
+        module, function, _ = _straightline_module(_sum_of_loads(3))
+        candidates = find_reduction_candidates(
+            function.entry, allow_inverse=True, fast_math=True, consumed_ids=set()
+        )
+        assert candidates == []
+        assert MIN_REDUCTION_LEAVES == 4
+
+    def test_interior_nodes_not_roots(self):
+        module, function, root = _straightline_module(_sum_of_loads(6))
+        candidates = find_reduction_candidates(
+            function.entry, allow_inverse=True, fast_math=True, consumed_ids=set()
+        )
+        assert [c.root for c in candidates] == [root]
+
+    def test_signed_chain_needs_inverse_permission(self):
+        def build(b, load):
+            acc = b.fadd(load("B", 0), load("B", 1))
+            acc = b.fsub(acc, load("K", 0))
+            return b.fadd(acc, b.fadd(load("B", 2), load("B", 3)))
+
+        module, function, _ = _straightline_module(build)
+        without = find_reduction_candidates(
+            function.entry, allow_inverse=False, fast_math=True, consumed_ids=set()
+        )
+        with_inverse = find_reduction_candidates(
+            function.entry, allow_inverse=True, fast_math=True, consumed_ids=set()
+        )
+        assert without == []
+        assert len(with_inverse) == 1
+        assert len(with_inverse[0].minus_leaves) == 1
+
+    def test_consumed_roots_skipped(self):
+        module, function, root = _straightline_module(_sum_of_loads(4))
+        candidates = find_reduction_candidates(
+            function.entry, allow_inverse=True, fast_math=True,
+            consumed_ids={id(root)},
+        )
+        assert candidates == []
+
+    def test_fast_math_required_for_float(self):
+        module, function, _ = _straightline_module(_sum_of_loads(4))
+        candidates = find_reduction_candidates(
+            function.entry, allow_inverse=True, fast_math=False, consumed_ids=set()
+        )
+        assert candidates == []
+
+
+class TestOrdering:
+    def test_reversed_loads_get_straightened(self):
+        module, function, _ = _straightline_module(_sum_of_loads(4))
+        vectorizer = SLPVectorizer(DEFAULT_TARGET, SNSLP_CONFIG)
+        candidate = find_reduction_candidates(
+            function.entry, allow_inverse=True, fast_math=True, consumed_ids=set()
+        )[0]
+        ordered = _order_group(candidate.plus_leaves, vectorizer.scorer)
+        from repro.ir import address_of
+
+        offsets = [address_of(v).offset for v in ordered]
+        assert offsets == sorted(offsets)
+
+    def test_small_groups_pass_through(self):
+        vectorizer = SLPVectorizer(DEFAULT_TARGET, SNSLP_CONFIG)
+        values = [Constant(F64, 1.0), Constant(F64, 2.0)]
+        assert _order_group(values, vectorizer.scorer) == values
+
+
+class TestPlanning:
+    def _plan(self, chain_builder, config=SNSLP_CONFIG):
+        module, function, _ = _straightline_module(chain_builder)
+        vectorizer = SLPVectorizer(DEFAULT_TARGET, config)
+        candidate = find_reduction_candidates(
+            function.entry,
+            allow_inverse=config.enable_supernode,
+            fast_math=True,
+            consumed_ids=set(),
+        )[0]
+        builder = _GraphBuilder(vectorizer, (), function, anchor=candidate.root)
+        return plan_reduction(
+            candidate, builder, DEFAULT_TARGET.isa, DEFAULT_TARGET.cost_model
+        )
+
+    def test_dot_product_profitable(self):
+        plan = self._plan(_dot_product(4))
+        assert plan is not None
+        assert plan.vector_width == 4
+        assert plan.total_cost < 0
+        assert not plan.leftovers
+
+    def test_wide_sum_uses_multiple_chunks(self):
+        plan = self._plan(_sum_of_loads(8))
+        assert plan is not None
+        assert len(plan.chunks) == 2
+        assert plan.vector_width == 4
+
+    def test_scalar_target_yields_no_plan(self):
+        module, function, _ = _straightline_module(_dot_product(4))
+        vectorizer = SLPVectorizer(SCALAR, SNSLP_CONFIG)
+        candidate = find_reduction_candidates(
+            function.entry, allow_inverse=True, fast_math=True, consumed_ids=set()
+        )[0]
+        builder = _GraphBuilder(vectorizer, (), function, anchor=candidate.root)
+        assert (
+            plan_reduction(candidate, builder, SCALAR.isa, SCALAR.cost_model)
+            is None
+        )
+
+    def test_mismatched_chunk_width_demoted(self):
+        def build(b, load):
+            # 4 '+' products and 2 '-' products: widths 4 and 2
+            acc = b.fmul(load("B", 0), load("W", 0))
+            for k in range(1, 4):
+                acc = b.fadd(acc, b.fmul(load("B", k), load("W", k)))
+            acc = b.fsub(acc, b.fmul(load("K", 0), load("K", 1)))
+            return b.fsub(acc, b.fmul(load("K", 2), load("K", 3)))
+
+        plan = self._plan(build)
+        assert plan is not None
+        assert plan.vector_width == 4
+        assert len(plan.chunks) == 1
+        assert len(plan.leftovers) == 2  # the demoted '-' products
+
+
+class TestEndToEnd:
+    def _run(self, module, inputs):
+        interp = Interpreter(module)
+        for name, values in inputs.items():
+            interp.write_global(name, values)
+        interp.run("kernel", [0])
+        return interp.read_global("S")
+
+    def _check(self, chain_builder, configs, expect_vectorized):
+        module, _, _ = _straightline_module(chain_builder)
+        rng = random.Random(11)
+        inputs = {
+            name: [rng.uniform(-2, 2) for _ in range(256)] for name in "BWK"
+        }
+        oracle = self._run(
+            compile_module(module, O3_CONFIG, DEFAULT_TARGET).module, inputs
+        )
+        for config in configs:
+            compiled = compile_module(module, config, DEFAULT_TARGET)
+            out = self._run(compiled.module, inputs)
+            for x, y in zip(out, oracle):
+                assert math.isclose(x, y, rel_tol=1e-9, abs_tol=1e-12)
+            reductions = [
+                g for g in compiled.report.all_graphs() if g.kind == "reduction"
+            ]
+            got = any(g.vectorized for g in reductions)
+            assert got == expect_vectorized[config.name], config.name
+
+    def test_pure_sum_vectorizes_everywhere(self):
+        self._check(
+            _sum_of_loads(8),
+            (SLP_CONFIG, LSLP_CONFIG, SNSLP_CONFIG),
+            {"SLP": True, "LSLP": True, "SN-SLP": True},
+        )
+
+    def test_signed_reduction_needs_supernode(self):
+        def build(b, load):
+            acc = b.fmul(load("B", 0), load("W", 0))
+            for k in range(1, 4):
+                acc = b.fadd(acc, b.fmul(load("B", k), load("W", k)))
+            return b.fsub(acc, load("K", 0))
+
+        self._check(
+            build,
+            (SLP_CONFIG, LSLP_CONFIG, SNSLP_CONFIG),
+            {"SLP": False, "LSLP": False, "SN-SLP": True},
+        )
+
+    def test_reduction_ir_verifies_and_scalar_chain_dies(self):
+        module, function, root = _straightline_module(_dot_product(4))
+        compiled = compile_module(module, SNSLP_CONFIG, DEFAULT_TARGET)
+        verify_module(compiled.module)
+        compiled_function = compiled.module.function("kernel")
+        opcodes = [inst.opcode for inst in compiled_function.entry]
+        assert Opcode.SHUFFLEVECTOR in opcodes
+        assert Opcode.EXTRACTELEMENT in opcodes
+        # the scalar fmul/fadd chain must be gone
+        scalar_fmuls = [
+            inst
+            for inst in compiled_function.entry
+            if inst.opcode is Opcode.FMUL and inst.type.is_scalar
+        ]
+        assert scalar_fmuls == []
+
+    def test_reductions_can_be_disabled(self):
+        import dataclasses
+
+        no_hor = dataclasses.replace(
+            SNSLP_CONFIG, name="SN-SLP-nohor", enable_reductions=False
+        )
+        module, _, _ = _straightline_module(_dot_product(4))
+        compiled = compile_module(module, no_hor, DEFAULT_TARGET)
+        assert [g for g in compiled.report.all_graphs() if g.kind == "reduction"] == []
+
+    def test_integer_reduction_bitexact(self):
+        module = Module("ired")
+        for name in ("B", "S"):
+            module.add_global(name, I64, 256)
+        function = Function("kernel", [("i", I64)], VOID, fast_math=False)
+        module.add_function(function)
+        builder = IRBuilder(function.add_block("entry"))
+        i = function.arguments[0]
+
+        def load(off):
+            idx = builder.add(i, builder.const_i64(off)) if off else i
+            return builder.load(builder.gep(module.global_named("B"), idx))
+
+        # eight consecutive '+' loads, then two subtracted ones: the '+'
+        # group vectorizes as two 4-wide chunks, the '-' pair stays scalar
+        acc = load(0)
+        for k in range(1, 8):
+            acc = builder.add(acc, load(k))
+        for k in (8, 9):
+            acc = builder.sub(acc, load(k))
+        builder.store(acc, builder.gep(module.global_named("S"), i))
+        builder.ret()
+        verify_module(module)
+
+        rng = random.Random(5)
+        inputs = {"B": [rng.randint(-10**9, 10**9) for _ in range(256)]}
+
+        def run(mod):
+            interp = Interpreter(mod)
+            interp.write_global("B", inputs["B"])
+            interp.run("kernel", [0])
+            return interp.read_global("S")
+
+        oracle = run(compile_module(module, O3_CONFIG, DEFAULT_TARGET).module)
+        compiled = compile_module(module, SNSLP_CONFIG, DEFAULT_TARGET)
+        assert any(
+            g.vectorized for g in compiled.report.all_graphs() if g.kind == "reduction"
+        )
+        assert run(compiled.module) == oracle

@@ -1,0 +1,212 @@
+"""Multi-lane SuperNode tests: Listings 1-3 (build, reorder, codegen)."""
+
+import pytest
+
+from repro.interp import Interpreter
+from repro.ir import (
+    F64,
+    I64,
+    VOID,
+    Function,
+    IRBuilder,
+    Module,
+    Opcode,
+    eliminate_dead_code,
+    verify_module,
+)
+from repro.vectorizer import LookAheadScorer, SuperNode
+
+
+def _two_lane_module(lane0_builder, lane1_builder, type_=I64):
+    """Build a module with two store lanes; returns (module, roots)."""
+    module = Module("m")
+    for name in "ABCDE":
+        module.add_global(name, type_, 64)
+    function = Function("k", [("i", I64)], VOID, fast_math=True)
+    module.add_function(function)
+    builder = IRBuilder(function.add_block("entry"))
+    i = function.arguments[0]
+
+    def loader(off):
+        def load(name):
+            idx = builder.add(i, builder.const_i64(off)) if off else i
+            return builder.load(
+                builder.gep(module.global_named(name), idx), name=f"{name}{off}"
+            )
+
+        return load
+
+    roots = []
+    for lane, make in enumerate((lane0_builder, lane1_builder)):
+        root = make(builder, loader(lane))
+        idx = builder.add(i, builder.const_i64(lane)) if lane else i
+        builder.store(root, builder.gep(module.global_named("A"), idx))
+        roots.append(root)
+    builder.ret()
+    verify_module(module)
+    return module, function, roots
+
+
+def _fig3_lanes():
+    # lane0: (B - C) + D     lane1: (B + D) - C
+    return _two_lane_module(
+        lambda b, ld: b.add(b.sub(ld("B"), ld("C")), ld("D")),
+        lambda b, ld: b.sub(b.add(ld("B"), ld("D")), ld("C")),
+    )
+
+
+class TestBuild:
+    def test_builds_over_compatible_lanes(self):
+        _, _, roots = _fig3_lanes()
+        node = SuperNode.build(
+            roots, allow_inverse=True, allow_trunk_swaps=True, fast_math=True
+        )
+        assert node is not None
+        assert node.kind == "super"
+        assert node.num_lanes == 2
+        assert node.size() == 2
+        assert node.contains_inverse
+
+    def test_multinode_refuses_inverse_lanes(self):
+        _, _, roots = _fig3_lanes()
+        assert (
+            SuperNode.build(
+                roots, allow_inverse=False, allow_trunk_swaps=False, fast_math=True
+            )
+            is None
+        )
+
+    def test_single_lane_rejected(self):
+        _, _, roots = _fig3_lanes()
+        assert (
+            SuperNode.build(
+                roots[:1], allow_inverse=True, allow_trunk_swaps=True, fast_math=True
+            )
+            is None
+        )
+
+    def test_slot_count_mismatch_rejected(self):
+        module, _, roots = _two_lane_module(
+            lambda b, ld: b.add(b.sub(ld("B"), ld("C")), ld("D")),
+            lambda b, ld: b.add(
+                b.sub(b.add(ld("B"), ld("E")), ld("C")), ld("D")
+            ),
+        )
+        assert (
+            SuperNode.build(
+                roots, allow_inverse=True, allow_trunk_swaps=True, fast_math=True
+            )
+            is None
+        )
+
+    def test_record_fields(self):
+        _, _, roots = _fig3_lanes()
+        node = SuperNode.build(
+            roots, allow_inverse=True, allow_trunk_swaps=True, fast_math=True
+        )
+        record = node.record()
+        assert record.kind == "super"
+        assert record.size == 2
+        assert record.lanes == 2
+        assert record.family is Opcode.ADD
+        assert not record.vectorized
+
+
+class TestReorder:
+    def test_fig3_reorder_aligns_consecutive_loads(self):
+        _, _, roots = _fig3_lanes()
+        node = SuperNode.build(
+            roots, allow_inverse=True, allow_trunk_swaps=True, fast_math=True
+        )
+        node.reorder_leaves_and_trunks(LookAheadScorer())
+        # After reordering, slot k of every lane must hold the same array's
+        # load (consecutive offsets), i.e. names match modulo offset digit.
+        names = [
+            [chain.leaf_at(slot).value.name[0] for slot in chain.slots()]
+            for chain in node.chains
+        ]
+        assert names[0] == names[1]
+
+    def test_trunk_swaps_disabled_blocks_fig3(self):
+        _, _, roots = _fig3_lanes()
+        node = SuperNode.build(
+            roots, allow_inverse=True, allow_trunk_swaps=False, fast_math=True
+        )
+        node.reorder_leaves_and_trunks(LookAheadScorer())
+        names = [
+            [chain.leaf_at(slot).value.name[0] for slot in chain.slots()]
+            for chain in node.chains
+        ]
+        # lane1's C cannot reach the root slot without a trunk swap
+        assert names[0] != names[1]
+
+    def test_reorder_reports_applied_groups(self):
+        _, _, roots = _fig3_lanes()
+        node = SuperNode.build(
+            roots, allow_inverse=True, allow_trunk_swaps=True, fast_math=True
+        )
+        applied = node.reorder_leaves_and_trunks(LookAheadScorer())
+        assert applied == node.num_slots
+
+
+class TestGenerateCode:
+    def _check_semantics(self, module, function, node):
+        """Compare pre/post codegen execution on fixed inputs."""
+        inputs = {
+            name: [float(k * 7 + ord(name)) for k in range(64)]
+            if module.globals[name].element.is_float
+            else [k * 7 + ord(name) for k in range(64)]
+            for name in module.globals
+        }
+        # run original
+        interp = Interpreter(module)
+        for name, values in inputs.items():
+            interp.write_global(name, values)
+        interp.run(function.name, [0])
+        expected = interp.read_global("A")
+
+        node.reorder_leaves_and_trunks(LookAheadScorer())
+        node.generate_code()
+        eliminate_dead_code(function)
+        verify_module(module)
+
+        interp2 = Interpreter(module)
+        for name, values in inputs.items():
+            interp2.write_global(name, values)
+        interp2.run(function.name, [0])
+        assert interp2.read_global("A") == expected
+
+    def test_codegen_preserves_semantics(self):
+        module, function, roots = _fig3_lanes()
+        node = SuperNode.build(
+            roots, allow_inverse=True, allow_trunk_swaps=True, fast_math=True
+        )
+        self._check_semantics(module, function, node)
+
+    def test_codegen_erases_superseded_chain(self):
+        module, function, roots = _fig3_lanes()
+        node = SuperNode.build(
+            roots, allow_inverse=True, allow_trunk_swaps=True, fast_math=True
+        )
+        before_count = function.instruction_count()
+        node.reorder_leaves_and_trunks(LookAheadScorer())
+        new_roots = node.generate_code()
+        # old chain gone, new chain added: instruction count unchanged
+        assert function.instruction_count() == before_count
+        for old in roots:
+            assert old.parent is None  # erased
+        for new in new_roots:
+            assert new.parent is not None
+            assert new.num_uses == 1  # the store
+
+    def test_codegen_returns_roots_in_lane_order(self):
+        module, function, roots = _fig3_lanes()
+        node = SuperNode.build(
+            roots, allow_inverse=True, allow_trunk_swaps=True, fast_math=True
+        )
+        node.reorder_leaves_and_trunks(LookAheadScorer())
+        new_roots = node.generate_code()
+        assert len(new_roots) == 2
+        # each new root feeds the store of its lane
+        stores = [u for root in new_roots for u in root.users()]
+        assert all(s.opcode is Opcode.STORE for s in stores)

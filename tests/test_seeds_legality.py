@@ -1,0 +1,245 @@
+"""Seed collection and scheduling-legality tests."""
+
+import pytest
+
+from repro.ir import (
+    F32,
+    F64,
+    I64,
+    VOID,
+    Constant,
+    Function,
+    IRBuilder,
+    Module,
+)
+from repro.machine import SCALAR, SKYLAKE_LIKE, SSE4_LIKE
+from repro.vectorizer import (
+    bundle_is_schedulable_loads,
+    bundle_is_schedulable_stores,
+    collect_store_seeds,
+    lanes_form_valid_bundle,
+    loads_are_consecutive,
+)
+
+
+def _module(element=F64):
+    module = Module("m")
+    for name in "ABC":
+        module.add_global(name, element, 64)
+    function = Function("k", [("i", I64)], VOID)
+    module.add_function(function)
+    builder = IRBuilder(function.add_block("entry"))
+    return module, function, builder
+
+
+def _store_lane(module, builder, i, array, offset, value=None):
+    idx = builder.add(i, builder.const_i64(offset)) if offset else i
+    pointer = builder.gep(module.global_named(array), idx)
+    if value is None:
+        value = Constant(module.globals[array].element, 1.0)
+    return builder.store(value, pointer)
+
+
+class TestSeedCollection:
+    def test_adjacent_stores_form_seed(self):
+        module, function, builder = _module()
+        i = function.arguments[0]
+        stores = [_store_lane(module, builder, i, "A", k) for k in range(2)]
+        builder.ret()
+        seeds = collect_store_seeds(function.entry, SKYLAKE_LIKE.isa)
+        assert len(seeds) == 1
+        assert seeds[0] == stores
+
+    def test_wide_run_chunks_to_widest_legal(self):
+        module, function, builder = _module()
+        i = function.arguments[0]
+        for k in range(6):
+            _store_lane(module, builder, i, "A", k)
+        builder.ret()
+        seeds = collect_store_seeds(function.entry, SKYLAKE_LIKE.isa)
+        # 6 f64 stores on a 256-bit target: one VF=4 chunk + one VF=2 chunk
+        assert [len(s) for s in seeds] == [4, 2]
+
+    def test_sse_width_limits_chunk(self):
+        module, function, builder = _module()
+        i = function.arguments[0]
+        for k in range(4):
+            _store_lane(module, builder, i, "A", k)
+        builder.ret()
+        seeds = collect_store_seeds(function.entry, SSE4_LIKE.isa)
+        assert [len(s) for s in seeds] == [2, 2]
+
+    def test_scalar_target_yields_nothing(self):
+        module, function, builder = _module()
+        i = function.arguments[0]
+        for k in range(4):
+            _store_lane(module, builder, i, "A", k)
+        builder.ret()
+        assert collect_store_seeds(function.entry, SCALAR.isa) == []
+
+    def test_gap_splits_runs(self):
+        module, function, builder = _module()
+        i = function.arguments[0]
+        for k in (0, 1, 3, 4):
+            _store_lane(module, builder, i, "A", k)
+        builder.ret()
+        seeds = collect_store_seeds(function.entry, SKYLAKE_LIKE.isa)
+        assert [len(s) for s in seeds] == [2, 2]
+
+    def test_stores_sorted_by_offset(self):
+        module, function, builder = _module()
+        i = function.arguments[0]
+        s1 = _store_lane(module, builder, i, "A", 1)
+        s0 = _store_lane(module, builder, i, "A", 0)
+        builder.ret()
+        seeds = collect_store_seeds(function.entry, SKYLAKE_LIKE.isa)
+        assert seeds[0] == [s0, s1]
+
+    def test_different_arrays_grouped_separately(self):
+        module, function, builder = _module()
+        i = function.arguments[0]
+        a = [_store_lane(module, builder, i, "A", k) for k in range(2)]
+        b = [_store_lane(module, builder, i, "B", k) for k in range(2)]
+        builder.ret()
+        seeds = collect_store_seeds(function.entry, SKYLAKE_LIKE.isa)
+        assert seeds == [a, b]
+
+    def test_duplicate_offsets_break_run(self):
+        module, function, builder = _module()
+        i = function.arguments[0]
+        _store_lane(module, builder, i, "A", 0)
+        _store_lane(module, builder, i, "A", 0)
+        _store_lane(module, builder, i, "A", 1)
+        builder.ret()
+        seeds = collect_store_seeds(function.entry, SKYLAKE_LIKE.isa)
+        # first run is [0] (too short), second run [0,1] chunks to one seed
+        assert len(seeds) == 1
+
+    def test_vector_valued_stores_ignored(self):
+        from repro.ir import vector_of
+
+        module, function, builder = _module()
+        vt = vector_of(F64, 2)
+        pointer = builder.gep(module.global_named("A"), 0)
+        builder.store(Constant(vt, (1.0, 2.0)), pointer)
+        builder.ret()
+        assert collect_store_seeds(function.entry, SKYLAKE_LIKE.isa) == []
+
+
+class TestBundleValidity:
+    def test_valid_bundle(self):
+        module, function, builder = _module()
+        i = function.arguments[0]
+        loads = [
+            builder.load(builder.gep(module.global_named("B"), k)) for k in range(2)
+        ]
+        assert lanes_form_valid_bundle(loads) is None
+
+    def test_repeated_lane_rejected(self):
+        module, function, builder = _module()
+        load = builder.load(builder.gep(module.global_named("B"), 0))
+        assert lanes_form_valid_bundle([load, load]) == "repeated value across lanes"
+
+    def test_type_mismatch_rejected(self):
+        module, function, builder = _module()
+        module.add_global("F", F32, 8)
+        l64 = builder.load(builder.gep(module.global_named("B"), 0))
+        l32 = builder.load(builder.gep(module.global_named("F"), 0))
+        assert lanes_form_valid_bundle([l64, l32]) == "mismatched lane types"
+
+    def test_constant_lane_rejected(self):
+        module, function, builder = _module()
+        load = builder.load(builder.gep(module.global_named("B"), 0))
+        assert (
+            lanes_form_valid_bundle([load, Constant(F64, 1.0)])
+            == "non-instruction lane"
+        )
+
+    def test_cross_block_rejected(self):
+        module, function, builder = _module()
+        l0 = builder.load(builder.gep(module.global_named("B"), 0))
+        other = function.add_block("other")
+        b2 = IRBuilder(other)
+        l1 = b2.load(b2.gep(module.global_named("B"), 1))
+        assert lanes_form_valid_bundle([l0, l1]) == "lanes span blocks"
+
+
+class TestLoadConsecutivity:
+    def test_consecutive_in_lane_order(self):
+        module, function, builder = _module()
+        loads = [
+            builder.load(builder.gep(module.global_named("B"), k)) for k in range(3)
+        ]
+        assert loads_are_consecutive(loads)
+        assert not loads_are_consecutive(list(reversed(loads)))
+
+    def test_gap_not_consecutive(self):
+        module, function, builder = _module()
+        l0 = builder.load(builder.gep(module.global_named("B"), 0))
+        l2 = builder.load(builder.gep(module.global_named("B"), 2))
+        assert not loads_are_consecutive([l0, l2])
+
+
+class TestSchedulingLegality:
+    def test_clean_bundle_schedulable(self):
+        module, function, builder = _module()
+        i = function.arguments[0]
+        loads = [
+            builder.load(builder.gep(module.global_named("B"), k)) for k in range(2)
+        ]
+        stores = [
+            _store_lane(module, builder, i, "A", k, value=loads[k]) for k in range(2)
+        ]
+        builder.ret()
+        anchor = stores[-1]
+        assert bundle_is_schedulable_stores(stores, anchor)
+        assert bundle_is_schedulable_loads(loads, anchor, stores)
+
+    def test_aliasing_store_between_seed_stores(self):
+        # store A[0]; store B[j] (unanalyzable index -> may alias); store A[1]
+        module, function, builder = _module()
+        i = function.arguments[0]
+        s0 = _store_lane(module, builder, i, "A", 0)
+        opaque = builder.mul(i, builder.const_i64(3))
+        builder.store(
+            Constant(F64, 9.0), builder.gep(module.global_named("A"), opaque)
+        )
+        s1 = _store_lane(module, builder, i, "A", 1)
+        builder.ret()
+        assert not bundle_is_schedulable_stores([s0, s1], s1)
+
+    def test_store_to_other_array_between_is_fine(self):
+        module, function, builder = _module()
+        i = function.arguments[0]
+        s0 = _store_lane(module, builder, i, "A", 0)
+        _store_lane(module, builder, i, "B", 0)
+        s1 = _store_lane(module, builder, i, "A", 1)
+        builder.ret()
+        assert bundle_is_schedulable_stores([s0, s1], s1)
+
+    def test_load_cannot_move_past_aliasing_store(self):
+        # load B[0]; store B[0]; anchor after -> load bundle illegal
+        module, function, builder = _module()
+        i = function.arguments[0]
+        l0 = builder.load(builder.gep(module.global_named("B"), 0))
+        l1 = builder.load(builder.gep(module.global_named("B"), 1))
+        builder.store(Constant(F64, 5.0), builder.gep(module.global_named("B"), 0))
+        stores = [
+            _store_lane(module, builder, i, "A", k, value=(l0, l1)[k])
+            for k in range(2)
+        ]
+        builder.ret()
+        assert not bundle_is_schedulable_loads([l0, l1], stores[-1], stores)
+
+    def test_load_after_in_bundle_store_rejected(self):
+        # the paper's serial-dependence case: lane1 loads what lane0 stores
+        module, function, builder = _module()
+        i = function.arguments[0]
+        l0 = builder.load(builder.gep(module.global_named("A"), i))
+        idx1 = builder.add(i, builder.const_i64(1))
+        s0 = builder.store(l0, builder.gep(module.global_named("A"), idx1))
+        l1 = builder.load(builder.gep(module.global_named("A"), idx1))
+        idx2 = builder.add(i, builder.const_i64(2))
+        s1 = builder.store(l1, builder.gep(module.global_named("A"), idx2))
+        builder.ret()
+        assert not bundle_is_schedulable_loads([l0, l1], s1, [s0, s1])

@@ -1,0 +1,193 @@
+"""End-to-end configuration tests: the paper's O3 / (SLP) / LSLP / SN-SLP.
+
+These are the repository's core acceptance tests: for every kernel in the
+suite, each configuration must (a) preserve semantics against the O3
+oracle and (b) land on the expected side of the vectorize/don't-vectorize
+line that defines the paper's story.
+"""
+
+import pytest
+
+from repro.bench import run_kernel_matrix, speedup_over
+from repro.kernels import all_kernels, kernel_named
+from repro.machine import DEFAULT_TARGET, NO_ADDSUB, SSE4_LIKE
+from repro.vectorizer import (
+    ALL_CONFIGS,
+    LSLP_CONFIG,
+    O3_CONFIG,
+    SLP_CONFIG,
+    SNSLP_CONFIG,
+    compile_module,
+    config_named,
+)
+
+#: kernel -> which configs are expected to vectorize it
+EXPECTATIONS = {
+    "motiv-leaf-reorder": {"SLP": False, "LSLP": False, "SN-SLP": True},
+    # SLP/LSLP partially vectorize the product leaves; SN-SLP gets it all
+    "milc-su3-cmul": {"SLP": True, "LSLP": True, "SN-SLP": True},
+    "motiv-trunk-reorder": {"SLP": False, "LSLP": False, "SN-SLP": True},
+    "milc-field-norm": {"SLP": False, "LSLP": False, "SN-SLP": True},
+    "milc-su3-vec4": {"SLP": False, "LSLP": False, "SN-SLP": True},
+    "namd-force-accum": {"SLP": False, "LSLP": False, "SN-SLP": True},
+    "dealii-cell-assembly": {"SLP": False, "LSLP": False, "SN-SLP": True},
+    "soplex-ratio-update": {"SLP": False, "LSLP": False, "SN-SLP": True},
+    "povray-shade-blend": {"SLP": False, "LSLP": False, "SN-SLP": True},
+    # sqrt is expensive enough that call bundles pay even over gathered
+    # operands; SN-SLP additionally vectorizes the chain beneath
+    "povray-ray-length": {"SLP": True, "LSLP": True, "SN-SLP": True},
+    "sphinx-gauss-score": {"SLP": False, "LSLP": False, "SN-SLP": True},
+    "lslp-commutative-chain": {"SLP": False, "LSLP": True, "SN-SLP": True},
+    # horizontal reductions: the pure chain reduces everywhere, the
+    # sign-mixed chain only under the Super-Node's APO partitioning
+    "sphinx-dot-product": {"SLP": True, "LSLP": True, "SN-SLP": True},
+    "milc-staple-reduce": {"SLP": False, "LSLP": False, "SN-SLP": True},
+    "plain-fma-lanes": {"SLP": True, "LSLP": True, "SN-SLP": True},
+    "serial-dependence": {"SLP": False, "LSLP": False, "SN-SLP": False},
+}
+
+
+@pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: k.name)
+class TestEveryKernel:
+    def test_all_configs_preserve_semantics(self, kernel):
+        runs = run_kernel_matrix(kernel, ALL_CONFIGS, DEFAULT_TARGET)
+        for name, run in runs.items():
+            assert run.correct, f"{kernel.name} under {name} diverged from O3"
+
+    def test_vectorization_expectations(self, kernel):
+        if kernel.name not in EXPECTATIONS:
+            pytest.skip("no expectation recorded")
+        runs = run_kernel_matrix(kernel, ALL_CONFIGS, DEFAULT_TARGET)
+        for config_name, expected in EXPECTATIONS[kernel.name].items():
+            got = runs[config_name].vectorized_graphs > 0
+            assert got == expected, (
+                f"{kernel.name} under {config_name}: vectorized={got}, "
+                f"expected {expected}"
+            )
+
+    def test_speedups_are_ordered(self, kernel):
+        runs = run_kernel_matrix(kernel, ALL_CONFIGS, DEFAULT_TARGET)
+        # monotonicity: SN-SLP >= LSLP >= vanilla SLP >= O3 (within epsilon)
+        o3 = 1.0
+        slp = speedup_over(runs, "SLP")
+        lslp = speedup_over(runs, "LSLP")
+        snslp = speedup_over(runs, "SN-SLP")
+        eps = 1e-9
+        assert slp >= o3 - eps
+        assert lslp >= slp - eps
+        assert snslp >= lslp - eps
+
+
+class TestPaperHeadlines:
+    def test_motivating_examples_match_paper_costs(self):
+        # Fig 2: (L)SLP graph cost exactly 0 -> not profitable
+        leaf = kernel_named("motiv-leaf-reorder")
+        compiled = compile_module(leaf.build(), LSLP_CONFIG, DEFAULT_TARGET)
+        costs = [g.cost for g in compiled.report.all_graphs()]
+        assert costs == [0.0]
+        # Fig 2 under SN-SLP: -6
+        compiled = compile_module(leaf.build(), SNSLP_CONFIG, DEFAULT_TARGET)
+        costs = [g.cost for g in compiled.report.all_graphs()]
+        assert costs == [-6.0]
+
+    def test_fig3_costs(self):
+        trunk = kernel_named("motiv-trunk-reorder")
+        compiled = compile_module(trunk.build(), LSLP_CONFIG, DEFAULT_TARGET)
+        assert [g.cost for g in compiled.report.all_graphs()] == [4.0]
+        compiled = compile_module(trunk.build(), SNSLP_CONFIG, DEFAULT_TARGET)
+        assert [g.cost for g in compiled.report.all_graphs()] == [-6.0]
+
+    def test_snslp_beats_lslp_on_inverse_kernels(self):
+        for name in ("motiv-trunk-reorder", "milc-su3-cmul", "namd-force-accum"):
+            runs = run_kernel_matrix(kernel_named(name), ALL_CONFIGS, DEFAULT_TARGET)
+            assert speedup_over(runs, "SN-SLP") > speedup_over(runs, "LSLP") + 0.05
+
+    def test_lslp_equals_snslp_on_commutative_kernel(self):
+        runs = run_kernel_matrix(
+            kernel_named("lslp-commutative-chain"), ALL_CONFIGS, DEFAULT_TARGET
+        )
+        assert speedup_over(runs, "LSLP") == pytest.approx(
+            speedup_over(runs, "SN-SLP")
+        )
+
+    def test_node_stats_super_exceed_multi(self):
+        # Figures 6/7: aggregate Super-Node size must dominate Multi-Node
+        total_multi = 0
+        total_super = 0
+        for kernel in all_kernels():
+            runs = run_kernel_matrix(
+                kernel, (LSLP_CONFIG, SNSLP_CONFIG), DEFAULT_TARGET
+            )
+            total_multi += runs["LSLP"].aggregate_node_size
+            total_super += runs["SN-SLP"].aggregate_node_size
+        assert total_super > total_multi
+
+    def test_average_node_size_near_paper_value(self):
+        # the paper reports ~2.2 average node depth
+        sizes = []
+        for kernel in all_kernels():
+            runs = run_kernel_matrix(kernel, (SNSLP_CONFIG,), DEFAULT_TARGET)
+            run = runs["SN-SLP"]
+            if run.node_count:
+                sizes.append(run.aggregate_node_size / run.node_count)
+        average = sum(sizes) / len(sizes)
+        assert 2.0 <= average <= 3.0
+
+
+class TestConfigRegistry:
+    def test_config_lookup(self):
+        assert config_named("sn-slp") is SNSLP_CONFIG
+        assert config_named("O3") is O3_CONFIG
+        with pytest.raises(KeyError):
+            config_named("psl")
+
+    def test_o3_disables_vectorizer(self):
+        kernel = kernel_named("plain-fma-lanes")
+        compiled = compile_module(kernel.build(), O3_CONFIG, DEFAULT_TARGET)
+        assert compiled.report.all_graphs() == []
+
+    def test_config_flags(self):
+        assert not SLP_CONFIG.chains_enabled
+        assert LSLP_CONFIG.enable_multinode and not LSLP_CONFIG.enable_supernode
+        assert SNSLP_CONFIG.enable_supernode
+
+
+class TestOtherTargets:
+    def test_sse_width_still_vectorizes(self):
+        kernel = kernel_named("motiv-trunk-reorder")
+        runs = run_kernel_matrix(kernel, (SNSLP_CONFIG,), SSE4_LIKE)
+        assert runs["SN-SLP"].vectorized_graphs > 0
+        assert runs["SN-SLP"].correct
+
+    def test_no_addsub_target_correct(self):
+        kernel = kernel_named("milc-su3-cmul")
+        runs = run_kernel_matrix(kernel, ALL_CONFIGS, NO_ADDSUB)
+        assert all(r.correct for r in runs.values())
+
+
+class TestReorderCounters:
+    """The applied-move counters retell the motivating examples' story:
+    Figure 2 needs only a leaf swap, Figure 3 additionally a trunk swap."""
+
+    def _records(self, kernel_name):
+        kernel = kernel_named(kernel_name)
+        compiled = compile_module(kernel.build(), SNSLP_CONFIG, DEFAULT_TARGET)
+        return [
+            record
+            for graph in compiled.report.all_graphs()
+            for record in graph.supernodes
+        ]
+
+    def test_fig2_needs_only_leaf_swap(self):
+        records = self._records("motiv-leaf-reorder")
+        assert records[0].leaf_swaps >= 1
+        assert records[0].trunk_swaps == 0
+
+    def test_fig3_needs_trunk_swap(self):
+        records = self._records("motiv-trunk-reorder")
+        assert records[0].trunk_swaps >= 1
+
+    def test_four_lane_kernel_swaps_multiple_lanes(self):
+        records = self._records("milc-su3-vec4")
+        assert records[0].lanes == 4
+        assert records[0].trunk_swaps >= 2

@@ -1,0 +1,122 @@
+"""Stress tests: larger programs through the whole pipeline.
+
+Not micro-benchmarks — these assert the pipeline stays correct and
+tractable when a function contains many independent seed groups and long
+chains at once.
+"""
+
+import math
+import random
+import time
+
+import pytest
+
+from repro.interp import Interpreter
+from repro.ir import F64, I64, VOID, Function, IRBuilder, Module, verify_module
+from repro.machine import DEFAULT_TARGET
+from repro.vectorizer import ALL_CONFIGS, SNSLP_CONFIG, compile_module
+
+GROUPS = 12
+LANES = 4
+
+
+def _many_graphs_module(seed: int = 5) -> Module:
+    """12 independent 4-lane store groups, each an SN-shaped signed sum."""
+    rng = random.Random(seed)
+    module = Module("stress")
+    arrays = [f"IN{k}" for k in range(6)]
+    module.add_global("OUT", F64, 4096)
+    for name in arrays:
+        module.add_global(name, F64, 4096)
+    function = Function("kernel", [("i", I64)], VOID, fast_math=True)
+    module.add_function(function)
+    builder = IRBuilder(function.add_block("entry"))
+    i = function.arguments[0]
+    index_cache = {}
+
+    def index(offset):
+        if offset not in index_cache:
+            index_cache[offset] = (
+                builder.add(i, builder.const_i64(offset)) if offset else i
+            )
+        return index_cache[offset]
+
+    def load(name, offset):
+        return builder.load(
+            builder.gep(module.global_named(name), index(offset))
+        )
+
+    for group in range(GROUPS):
+        base = group * LANES
+        terms = [(arrays[j], j % 3 == 1) for j in range(4)]  # (array, minus)
+        for lane in range(LANES):
+            order = list(terms)
+            rng.shuffle(order)
+            anchor_idx = next(k for k, (_, minus) in enumerate(order) if not minus)
+            name, _ = order.pop(anchor_idx)
+            expr = load(name, base + lane)
+            for name, minus in order:
+                leaf = load(name, base + lane)
+                expr = builder.fsub(expr, leaf) if minus else builder.fadd(expr, leaf)
+            builder.store(expr, builder.gep(module.global_named("OUT"), index(base + lane)))
+    builder.ret()
+    verify_module(module)
+    return module
+
+
+class TestStress:
+    def test_many_graphs_all_vectorize_and_stay_correct(self):
+        module = _many_graphs_module()
+        rng = random.Random(77)
+        inputs = {
+            f"IN{k}": [rng.uniform(-3, 3) for _ in range(4096)] for k in range(6)
+        }
+
+        def run(mod):
+            interp = Interpreter(mod)
+            for name, values in inputs.items():
+                interp.write_global(name, values)
+            interp.run("kernel", [0])
+            return interp.read_global("OUT")
+
+        oracle = None
+        for config in ALL_CONFIGS:
+            compiled = compile_module(module, config, DEFAULT_TARGET)
+            out = run(compiled.module)
+            if oracle is None:
+                oracle = out
+                continue
+            for x, y in zip(out, oracle):
+                assert math.isclose(x, y, rel_tol=1e-9, abs_tol=1e-12)
+        # under SN-SLP, every one of the 12 groups vectorizes
+        compiled = compile_module(module, SNSLP_CONFIG, DEFAULT_TARGET)
+        assert len(compiled.report.vectorized_graphs()) == GROUPS
+
+    def test_compile_time_stays_tractable(self):
+        module = _many_graphs_module()
+        start = time.perf_counter()
+        compile_module(module, SNSLP_CONFIG, DEFAULT_TARGET)
+        elapsed = time.perf_counter() - start
+        # 12 Super-Nodes of 4 lanes x 3 trunks: well under a second
+        assert elapsed < 2.0
+
+    def test_long_chain_capped_by_max_trunks(self):
+        module = Module("deep")
+        module.add_global("OUT", F64, 64)
+        module.add_global("IN0", F64, 64)
+        function = Function("kernel", [("i", I64)], VOID, fast_math=True)
+        module.add_function(function)
+        b = IRBuilder(function.add_block("entry"))
+        i = function.arguments[0]
+        for lane in range(2):
+            idx = b.add(i, b.const_i64(lane)) if lane else i
+            expr = b.load(b.gep(module.global_named("IN0"), idx))
+            for _ in range(40):  # deeper than max_trunks
+                expr = b.fadd(expr, b.load(b.gep(module.global_named("IN0"), idx)))
+            b.store(expr, b.gep(module.global_named("OUT"), idx))
+        b.ret()
+        verify_module(module)
+        start = time.perf_counter()
+        compiled = compile_module(module, SNSLP_CONFIG, DEFAULT_TARGET)
+        assert time.perf_counter() - start < 5.0
+        verify_module(compiled.module)
