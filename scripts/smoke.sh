@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Smoke check: tier-1 tests, one fully-observed benchmark run, and the
+# Figure 5 speedup regression gate.  Run from the repository root:
+#
+#     bash scripts/smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+echo
+echo "== traced benchmark run (Fig 3 motivating kernel) =="
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+cat > "$workdir/fig3.sn" <<'EOF'
+long A[1024]; long B[1024]; long C[1024]; long D[1024];
+
+kernel fig3(n) {
+  for (i = 0; i < n; i += 2) {
+    A[i+0] = B[i+0] - C[i+0] + D[i+0];
+    A[i+1] = B[i+1] + D[i+1] - C[i+1];
+  }
+}
+EOF
+python -m repro run "$workdir/fig3.sn" --n 512 \
+    --stats \
+    --remarks "$workdir/remarks.jsonl" \
+    --trace-out "$workdir/trace.json" \
+    -v
+
+python - "$workdir" <<'EOF'
+import json, pathlib, sys
+workdir = pathlib.Path(sys.argv[1])
+trace = json.loads((workdir / "trace.json").read_text())
+assert trace["traceEvents"], "trace is empty"
+remarks = [
+    json.loads(line)
+    for line in (workdir / "remarks.jsonl").read_text().splitlines()
+    if line
+]
+assert any(r["kind"] == "passed" for r in remarks), "no passed remark"
+print(
+    f"trace: {len(trace['traceEvents'])} events; "
+    f"remarks: {len(remarks)} recorded — artifacts look sane"
+)
+EOF
+
+echo
+echo "== Figure 5 speedup regression gate =="
+python benchmarks/check_regression.py

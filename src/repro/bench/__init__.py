@@ -20,7 +20,11 @@ from .figures import (
     format_rows,
 )
 from .tables import format_table1, table1_with_activation
-from .timing import compile_once_seconds, compile_time_stats
+from .timing import (
+    compile_once_seconds,
+    compile_time_and_phase_stats,
+    compile_time_stats,
+)
 
 __all__ = [
     "DEFAULT_SEED",
@@ -41,5 +45,6 @@ __all__ = [
     "table1_with_activation",
     "format_table1",
     "compile_once_seconds",
+    "compile_time_and_phase_stats",
     "compile_time_stats",
 ]

@@ -25,7 +25,7 @@ from ..sim.executor import simulate
 from ..vectorizer.pipeline import compile_module
 from ..vectorizer.slp import LSLP_CONFIG, O3_CONFIG, SLPConfig, SNSLP_CONFIG
 from .runner import DEFAULT_SEED, run_kernel_matrix, speedup_over
-from .timing import compile_time_stats
+from .timing import compile_time_and_phase_stats
 
 Row = Dict[str, object]
 
@@ -54,6 +54,14 @@ def fig5_kernel_speedups(
                 "kernel": kernel.name,
                 "LSLP": speedup_over(runs, "LSLP"),
                 "SN-SLP": speedup_over(runs, "SN-SLP"),
+                # nested per-config breakdowns land in the JSON twin of the
+                # results file; format_rows skips non-scalar columns
+                "phase_seconds": {
+                    name: runs[name].phase_seconds for name in ("LSLP", "SN-SLP")
+                },
+                "counters": {
+                    name: runs[name].counters for name in ("LSLP", "SN-SLP")
+                },
             }
         )
     rows.append(
@@ -248,7 +256,9 @@ def fig11_compile_time(
     (Figure 11): 10 measured runs after one warm-up, mean +/- stddev."""
     rows: List[Row] = []
     for kernel in _kernel_set(kernels):
-        stats = compile_time_stats(kernel, target, runs=runs, warmup=warmup)
+        stats, phases = compile_time_and_phase_stats(
+            kernel, target, runs=runs, warmup=warmup
+        )
         o3 = stats["O3"]
         rows.append(
             {
@@ -258,6 +268,7 @@ def fig11_compile_time(
                 "SN-SLP": stats["SN-SLP"].mean / o3.mean,
                 "LSLP stddev": stats["LSLP"].stddev / o3.mean,
                 "SN-SLP stddev": stats["SN-SLP"].stddev / o3.mean,
+                "phase_seconds": phases,
             }
         )
     return rows
@@ -266,10 +277,18 @@ def fig11_compile_time(
 # -- formatting --------------------------------------------------------------------------
 
 def format_rows(rows: Sequence[Row], title: str = "") -> str:
-    """Render rows as an aligned text table."""
+    """Render rows as an aligned text table.
+
+    Nested (dict/list) columns — the per-config phase-time and counter
+    breakdowns — are JSON-only payload and are skipped here.
+    """
     if not rows:
         return title
-    columns = list(rows[0].keys())
+    columns = [
+        col
+        for col, value in rows[0].items()
+        if not isinstance(value, (dict, list))
+    ]
     widths = {
         col: max(
             len(str(col)),

@@ -12,11 +12,12 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..kernels.suite import Kernel
 from ..machine.targets import DEFAULT_TARGET, TargetMachine
+from ..observe import STATS
 from ..sim.executor import simulate
 from ..vectorizer.pipeline import compile_module
 from ..vectorizer.slp import ALL_CONFIGS, O3_CONFIG, SLPConfig
@@ -40,6 +41,10 @@ class KernelRun:
     compile_seconds: float
     outputs: Dict[str, List]
     correct: Optional[bool] = None  # vs the O3 oracle; None until compared
+    #: per-phase compile wall seconds (clone/simplify/[unroll]/vectorize/verify)
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: statistic counters for this (kernel, config): compile + simulation
+    counters: Dict[str, float] = field(default_factory=dict)
 
 
 def outputs_match(kernel: Kernel, got: Dict[str, List], want: Dict[str, List]) -> bool:
@@ -76,6 +81,9 @@ def run_kernel_config(
         [kernel.trip_count],
         inputs=inputs,
     )
+    # compile_module reset the registry; after simulate it holds this
+    # pair's compile counters plus the simulation cycle histogram
+    counters = STATS.snapshot()
     report = compiled.report
     return KernelRun(
         kernel=kernel.name,
@@ -89,6 +97,8 @@ def run_kernel_config(
         average_node_size=report.average_node_size(),
         compile_seconds=compiled.compile_seconds,
         outputs={name: result.globals_after[name] for name in kernel.output_globals},
+        phase_seconds=compiled.phase_seconds,
+        counters=counters,
     )
 
 

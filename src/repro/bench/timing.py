@@ -9,11 +9,11 @@ verification — the analogue of invoking clang on a kernel.
 from __future__ import annotations
 
 import time
-from typing import Dict, Sequence
+from typing import Dict, Sequence, Tuple
 
 from ..kernels.suite import Kernel
 from ..machine.targets import DEFAULT_TARGET, TargetMachine
-from ..sim.stats import RunStats, measure
+from ..sim.stats import RunStats, measure, summarize
 from ..vectorizer.pipeline import compile_module
 from ..vectorizer.slp import LSLP_CONFIG, O3_CONFIG, SLPConfig, SNSLP_CONFIG
 
@@ -46,3 +46,37 @@ def compile_time_stats(
         )
         for config in configs
     }
+
+
+def compile_time_and_phase_stats(
+    kernel: Kernel,
+    target: TargetMachine = DEFAULT_TARGET,
+    configs: Sequence[SLPConfig] = TIMED_CONFIGS,
+    runs: int = 10,
+    warmup: int = 1,
+) -> Tuple[Dict[str, RunStats], Dict[str, Dict[str, float]]]:
+    """Wall-time stats plus mean per-phase seconds, from one set of runs.
+
+    Same protocol as :func:`compile_time_stats`, but each measured
+    compilation also contributes its ``phase_seconds`` breakdown, so
+    Figure 11 can attribute the SLP overhead to the vectorize phase
+    without compiling everything twice.
+    """
+    module = kernel.build()
+    wall: Dict[str, RunStats] = {}
+    phases: Dict[str, Dict[str, float]] = {}
+    for config in configs:
+        samples = []
+        totals: Dict[str, float] = {}
+        for i in range(warmup + runs):
+            result = compile_module(module, config, target)
+            if i < warmup:
+                continue
+            samples.append(result.compile_seconds)
+            for phase, seconds in result.phase_seconds.items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        wall[config.name] = summarize(samples)
+        phases[config.name] = {
+            phase: total / runs for phase, total in sorted(totals.items())
+        }
+    return wall, phases

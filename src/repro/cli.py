@@ -25,8 +25,48 @@ from typing import Dict, List, Optional, Sequence
 from .frontend import compile_source
 from .ir import FloatType, Module, print_module
 from .machine import DEFAULT_TARGET, target_named
+from .observe import REMARKS, STATS, TRACER
 from .sim import simulate
 from .vectorizer import ALL_CONFIGS, compile_module, config_named
+
+
+def _configure_observability(args: argparse.Namespace) -> None:
+    """Arm the tracer / remark collector before the command runs."""
+    if getattr(args, "trace_out", None):
+        TRACER.clear()
+        TRACER.enable()
+    if getattr(args, "remarks", None):
+        REMARKS.clear()
+        REMARKS.enable()
+
+
+def _flush_observability(args: argparse.Namespace) -> None:
+    """Write trace/remark files and print the stats table after a command."""
+    if getattr(args, "trace_out", None):
+        TRACER.write_chrome_trace(args.trace_out)
+        print(
+            f"; wrote {len(TRACER.events)} trace event(s) to {args.trace_out}",
+            file=sys.stderr,
+        )
+    if getattr(args, "remarks", None):
+        REMARKS.write_jsonl(args.remarks)
+        print(
+            f"; wrote {len(REMARKS.remarks)} remark(s) to {args.remarks}",
+            file=sys.stderr,
+        )
+    if getattr(args, "stats", False) and not getattr(args, "_stats_printed", False):
+        print(STATS.report(), file=sys.stderr)
+
+
+def _print_phase_times(result, label: str) -> None:
+    """-v: a -time-passes-style per-phase wall-time table on stderr."""
+    print(f"; phase times ({label}):", file=sys.stderr)
+    for phase, seconds in result.phase_seconds.items():
+        print(f";   {phase:10s} {seconds * 1000:8.3f} ms", file=sys.stderr)
+    print(
+        f";   {'total':10s} {result.compile_seconds * 1000:8.3f} ms",
+        file=sys.stderr,
+    )
 
 
 def _load_module(path: str) -> Module:
@@ -105,6 +145,8 @@ def cmd_compile(args: argparse.Namespace) -> int:
         f"; SLP graphs: {len(graphs)} attempted, {len(vectorized)} vectorized",
         file=sys.stderr,
     )
+    if args.verbose:
+        _print_phase_times(result, config.name)
     if args.emit_ir:
         print(print_module(result.module), end="")
     return 0
@@ -116,6 +158,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     config = config_named(args.config)
     target = target_named(args.target)
     compiled = compile_module(module, config, target, unroll_factor=args.unroll)
+    if args.verbose:
+        _print_phase_times(compiled, config.name)
     inputs = _seed_inputs(module, args.seed)
     result = simulate(compiled.module, kernel, target, [args.n], inputs=inputs)
     print(f"config:       {config.name}")
@@ -131,18 +175,25 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    import json
+
     module = _load_module(args.source)
     kernel = _pick_kernel(module, args.kernel)
     target = target_named(args.target)
     inputs = _seed_inputs(module, args.seed)
     baseline = None
     exit_code = 0
-    print(f"{'config':8s} {'cycles':>12s} {'speedup':>8s} {'vectorized':>11s} {'correct':>8s}")
+    rows: List[Dict] = []
+    if not args.json:
+        print(f"{'config':8s} {'cycles':>12s} {'speedup':>8s} {'vectorized':>11s} {'correct':>8s}")
     for config in ALL_CONFIGS:
         compiled = compile_module(
             module, config, target, unroll_factor=args.unroll
         )
         result = simulate(compiled.module, kernel, target, [args.n], inputs=inputs)
+        # after simulate the registry holds this config's compile counters
+        # plus the simulation's cycle/instruction histogram
+        counters = STATS.snapshot()
         if baseline is None:
             baseline = result
         correct = True
@@ -154,12 +205,45 @@ def cmd_compare(args: argparse.Namespace) -> int:
                     break
         if not correct:
             exit_code = 1
-        print(
-            f"{config.name:8s} {result.cycles:12.1f} "
-            f"{baseline.cycles / result.cycles:8.2f} "
-            f"{len(compiled.report.vectorized_graphs()):11d} "
-            f"{str(correct):>8s}"
+        rows.append(
+            {
+                "config": config.name,
+                "cycles": result.cycles,
+                "speedup": baseline.cycles / result.cycles,
+                "instructions": result.instructions,
+                "vectorized_graphs": len(compiled.report.vectorized_graphs()),
+                "correct": correct,
+                "compile_seconds": compiled.compile_seconds,
+                "phase_seconds": compiled.phase_seconds,
+                "counters": counters,
+            }
         )
+        if not args.json:
+            print(
+                f"{config.name:8s} {result.cycles:12.1f} "
+                f"{baseline.cycles / result.cycles:8.2f} "
+                f"{len(compiled.report.vectorized_graphs()):11d} "
+                f"{str(correct):>8s}"
+            )
+        if args.verbose and not args.json:
+            _print_phase_times(compiled, config.name)
+        if args.stats:
+            print(
+                STATS.report(title=f"Statistics Collected ({config.name})"),
+                file=sys.stderr,
+            )
+    args._stats_printed = True
+    if args.json:
+        document = {
+            "source": args.source,
+            "kernel": kernel,
+            "target": target.name,
+            "n": args.n,
+            "seed": args.seed,
+            "unroll": args.unroll,
+            "configs": rows,
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
     return exit_code
 
 
@@ -174,6 +258,13 @@ def cmd_report(args: argparse.Namespace) -> int:
         print("missed-vectorization reasons (gather nodes in failed graphs):")
         for reason, count in missed.items():
             print(f"  {count:3d}x {reason}")
+    partial = compiled.report.partial_gather_reasons()
+    if partial:
+        print("partial gathers inside vectorized graphs:")
+        for reason, count in partial.items():
+            print(f"  {count:3d}x {reason}")
+    if args.verbose:
+        _print_phase_times(compiled, config.name)
     print()
     for graph in compiled.report.all_graphs():
         verdict = "vectorized" if graph.vectorized else "not profitable"
@@ -222,6 +313,27 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="U",
             help="unroll canonical loops by U before vectorizing",
         )
+        p.add_argument(
+            "--stats",
+            action="store_true",
+            help="print the statistic counter table on stderr (LLVM -stats)",
+        )
+        p.add_argument(
+            "--remarks",
+            metavar="FILE",
+            help="write optimization remarks as JSONL to FILE (LLVM -Rpass)",
+        )
+        p.add_argument(
+            "--trace-out",
+            metavar="FILE",
+            help="write a Chrome trace-event JSON file (LLVM -ftime-trace)",
+        )
+        p.add_argument(
+            "-v",
+            "--verbose",
+            action="store_true",
+            help="print per-phase compile times on stderr (-time-passes)",
+        )
 
     p_compile = sub.add_parser("compile", help="compile and optionally print IR")
     common(p_compile)
@@ -243,6 +355,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("--kernel", help="kernel name (default: the only one)")
     p_compare.add_argument("--n", type=int, default=64)
     p_compare.add_argument("--seed", type=int, default=0)
+    p_compare.add_argument(
+        "--json",
+        action="store_true",
+        help="print a structured JSON document (cycles, phase times, counters)",
+    )
     p_compare.set_defaults(fn=cmd_compare)
 
     p_report = sub.add_parser("report", help="show the vectorizer's SLP graphs")
@@ -254,7 +371,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    _configure_observability(args)
+    try:
+        return args.fn(args)
+    finally:
+        _flush_observability(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,0 +1,37 @@
+"""Observability: tracing, statistics and optimization remarks.
+
+The LLVM-style introspection triple for this Python compiler:
+
+* :mod:`repro.observe.trace`   — hierarchical span tracer exporting Chrome
+  trace-event JSON (``-time-passes`` / ``-ftime-trace``);
+* :mod:`repro.observe.stats`   — named counter registry with
+  snapshot/reset semantics (``-stats``);
+* :mod:`repro.observe.remarks` — structured passed/missed/analysis
+  optimization remarks serialized as JSONL (``-Rpass`` /
+  ``-fsave-optimization-record``).
+
+All three are off (or free) by default: the tracer and remark collector
+cost one branch per call site while disabled, and counters are plain
+attribute increments.  The CLI's ``--trace-out``, ``--stats`` and
+``--remarks`` flags switch them on; ``compile_module`` resets counters per
+compilation so benchmark runs stay isolated.
+"""
+
+from .trace import TRACER, TraceEvent, Tracer
+from .stats import STAT, STATS, Statistic, StatsRegistry
+from .remarks import REMARK_KINDS, REMARKS, Remark, RemarkCollector, load_remarks
+
+__all__ = [
+    "TRACER",
+    "Tracer",
+    "TraceEvent",
+    "STAT",
+    "STATS",
+    "Statistic",
+    "StatsRegistry",
+    "REMARKS",
+    "REMARK_KINDS",
+    "Remark",
+    "RemarkCollector",
+    "load_remarks",
+]

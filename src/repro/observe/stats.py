@@ -1,0 +1,113 @@
+"""Named statistic counters — the repro's LLVM ``-stats``.
+
+Modules register counters once at import time::
+
+    from ..observe import STAT
+    _TRUNK_MOVES = STAT("supernode.trunk-moves-applied", "trunk swaps applied")
+
+and bump them on the hot path with ``_TRUNK_MOVES.add()`` — one attribute
+increment, cheap enough to leave enabled unconditionally, exactly like
+LLVM's ``STATISTIC`` macro.
+
+The registry supports ``snapshot()`` (non-zero values as a plain dict) and
+``reset()`` (zero every counter in place, preserving handle identity), so
+benchmark runs stay isolated: :func:`repro.vectorizer.pipeline.
+compile_module` resets the registry on entry and snapshots it on exit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class Statistic:
+    """One named counter.  Values may be fractional (e.g. cycle totals)."""
+
+    __slots__ = ("name", "description", "value")
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self.value: float = 0
+
+    def add(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Statistic({self.name}={self.value})"
+
+
+class StatsRegistry:
+    """Process-wide registry of :class:`Statistic` handles."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, Statistic] = {}
+
+    def stat(self, name: str, description: str = "") -> Statistic:
+        """Return the (singleton) counter for ``name``, registering it on
+        first use.  A later registration may fill in a description."""
+        existing = self._stats.get(name)
+        if existing is not None:
+            if description and not existing.description:
+                existing.description = description
+            return existing
+        created = Statistic(name, description)
+        self._stats[name] = created
+        return created
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats
+
+    def value(self, name: str) -> float:
+        stat = self._stats.get(name)
+        return stat.value if stat is not None else 0
+
+    def names(self) -> List[str]:
+        return sorted(self._stats)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Non-zero counter values as a plain dict (insertion-safe copy)."""
+        return {
+            name: stat.value
+            for name, stat in sorted(self._stats.items())
+            if stat.value
+        }
+
+    def reset(self) -> None:
+        """Zero every counter *in place* — registered handles stay valid."""
+        for stat in self._stats.values():
+            stat.value = 0
+
+    def report(
+        self, title: str = "Statistics Collected", include_zero: bool = True
+    ) -> str:
+        """An LLVM ``-stats``-style table of the registered counters."""
+        rows = [
+            stat
+            for _, stat in sorted(self._stats.items())
+            if include_zero or stat.value
+        ]
+        lines = [f"===-- {title} --==="]
+        if not rows:
+            lines.append("(no statistics registered)")
+            return "\n".join(lines)
+        width = max(len(_fmt_value(stat.value)) for stat in rows)
+        for stat in rows:
+            suffix = f" - {stat.description}" if stat.description else ""
+            lines.append(f"{_fmt_value(stat.value):>{width}} {stat.name}{suffix}")
+        return "\n".join(lines)
+
+
+def _fmt_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.1f}"
+
+
+#: the process-wide registry (LLVM's global statistics list)
+STATS = StatsRegistry()
+
+
+def STAT(name: str, description: str = "") -> Statistic:
+    """Shorthand for ``STATS.stat(...)`` mirroring LLVM's ``STATISTIC``."""
+    return STATS.stat(name, description)

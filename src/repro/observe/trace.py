@@ -1,0 +1,163 @@
+"""Hierarchical span tracing — the repro's ``-time-passes``.
+
+A :class:`Tracer` records nested spans (context-manager API, monotonic
+clocks) and exports them as Chrome trace-event JSON, loadable directly by
+``chrome://tracing`` / Perfetto.  The compilation pipeline opens one span
+per phase, the vectorizer one per seed graph, and the simulator one per
+invocation, so a single trace file shows where a whole benchmark run
+spends its time.
+
+Tracing is off by default.  When disabled, :meth:`Tracer.span` returns a
+shared no-op context manager after a single attribute test, so the cost of
+leaving instrumentation in hot paths is one branch — the same contract as
+LLVM's ``TimeTraceScope``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class TraceEvent:
+    """One completed span.
+
+    ``depth`` is the nesting level at the time the span opened (0 = root);
+    events are appended in *completion* order, so children precede their
+    parent in :attr:`Tracer.events`.
+    """
+
+    name: str
+    start_ns: int
+    duration_ns: int
+    depth: int
+    args: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def end_ns(self) -> int:
+        return self.start_ns + self.duration_ns
+
+    def contains(self, other: "TraceEvent") -> bool:
+        """Whether ``other`` nests (time-wise) inside this span."""
+        return self.start_ns <= other.start_ns and other.end_ns <= self.end_ns
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span; created only when the tracer is enabled."""
+
+    __slots__ = ("tracer", "name", "args", "start_ns", "depth")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Dict[str, object]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        self.depth = len(self.tracer._stack)
+        self.tracer._stack.append(self)
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        end_ns = time.perf_counter_ns()
+        stack = self.tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        self.tracer.events.append(
+            TraceEvent(
+                name=self.name,
+                start_ns=self.start_ns,
+                duration_ns=end_ns - self.start_ns,
+                depth=self.depth,
+                args=self.args,
+            )
+        )
+
+
+class Tracer:
+    """Collects hierarchical spans; exportable as Chrome trace JSON."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+        self._stack: List[_Span] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, **args: object):
+        """Open a span: ``with TRACER.span("vectorize", config="SN-SLP")``.
+
+        Returns a shared no-op context manager when tracing is disabled.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, args)
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self.events.clear()
+        self._stack.clear()
+
+    # -- queries -----------------------------------------------------------
+
+    def named(self, name: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.name == name]
+
+    def total_ns(self, name: str) -> int:
+        return sum(event.duration_ns for event in self.named(name))
+
+    # -- Chrome trace-event export ----------------------------------------
+
+    def to_chrome_trace(self) -> Dict[str, object]:
+        """The trace as a Chrome trace-event JSON object.
+
+        Complete ("X") events with microsecond timestamps; ``tid`` carries
+        the nesting depth so the viewer renders one row per level even
+        though everything ran on one thread.
+        """
+        trace_events: List[Dict[str, object]] = []
+        for event in self.events:
+            record: Dict[str, object] = {
+                "name": event.name,
+                "ph": "X",
+                "ts": event.start_ns / 1000.0,
+                "dur": event.duration_ns / 1000.0,
+                "pid": 1,
+                "tid": 1,
+            }
+            if event.args:
+                record["args"] = {k: str(v) for k, v in event.args.items()}
+            trace_events.append(record)
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome_trace(), handle, indent=1)
+            handle.write("\n")
+
+
+#: process-wide tracer, shared by pipeline, vectorizer, simulator and CLI
+TRACER = Tracer()

@@ -27,6 +27,7 @@ from ..ir.instructions import (
 from ..ir.module import Module
 from ..ir.types import VectorType
 from ..machine.targets import TargetMachine
+from ..observe import STATS, TRACER
 
 
 class CycleCounter:
@@ -103,7 +104,17 @@ def simulate(
     if inputs:
         for name, values in inputs.items():
             interp.write_global(name, values)
-    result = interp.run(function_name, args)
+    with TRACER.span("simulate", function=function_name, target=target.name):
+        result = interp.run(function_name, args)
+    STATS.stat("sim.cycles", "Total simulated cycles").add(counter.cycles)
+    STATS.stat("sim.instructions", "Simulated instructions executed").add(
+        counter.instructions
+    )
+    for opcode, cycles in counter.per_opcode.items():
+        STATS.stat(
+            f"sim.cycles.{opcode.name.lower()}",
+            "Simulated cycles charged to this opcode",
+        ).add(cycles)
     globals_after = (
         {name: interp.read_global(name) for name in module.globals}
         if capture_globals

@@ -23,6 +23,14 @@ from ..ir.instructions import (
     is_commutative,
 )
 from ..ir.values import Constant, Value
+from ..observe import STAT
+
+_STAT_PAIR_SCORES = STAT(
+    "lookahead.score-evaluations", "Pairwise look-ahead score evaluations"
+)
+_STAT_GROUP_SCORES = STAT(
+    "lookahead.group-scores", "Whole-group look-ahead score evaluations"
+)
 
 
 @dataclass(frozen=True)
@@ -52,10 +60,12 @@ class LookAheadScorer:
 
     def score_pair(self, a: Value, b: Value) -> int:
         """Score of placing ``a`` and ``b`` in neighbouring vector lanes."""
+        _STAT_PAIR_SCORES.add()
         return self._score(a, b, self.depth)
 
     def score_group(self, values) -> int:
         """Sum of consecutive pairwise scores across a whole lane group."""
+        _STAT_GROUP_SCORES.add()
         values = list(values)
         return sum(
             self.score_pair(left, right)

@@ -24,6 +24,7 @@ from ..ir.types import vector_of
 from ..ir.values import Value
 from ..machine.costmodel import CostModel
 from ..machine.isa import VectorISA
+from ..observe import STAT
 from .codegen import emit_node_tree
 from .graph import NodeKind, SLPNode
 from .reduction import MIN_REDUCTION_LEAVES, _order_group, _subtree_nodes
@@ -31,6 +32,13 @@ from .reorder import SuperNodeRecord
 
 #: reducible intrinsics; float ones need fast-math (NaN propagation order)
 MINMAX_CALLEES = {"fmin": True, "fmax": True, "smin": False, "smax": False}
+
+_STAT_CHAINS_FOUND = STAT(
+    "minmax.chains-found", "Min/max reduction chains detected"
+)
+_STAT_CHAIN_LEAVES = STAT(
+    "minmax.chain-leaves", "Leaves across detected min/max chains"
+)
 
 
 @dataclass
@@ -106,6 +114,8 @@ def find_minmax_candidates(
             continue
         if any(id(call) in consumed_ids for call in calls):
             continue
+        _STAT_CHAINS_FOUND.add()
+        _STAT_CHAIN_LEAVES.add(len(leaves))
         candidates.append(MinMaxCandidate(inst, inst.callee, calls, leaves))
     return candidates
 

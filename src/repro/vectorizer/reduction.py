@@ -40,6 +40,7 @@ from ..ir.types import vector_of
 from ..ir.values import Constant, Value
 from ..machine.costmodel import CostModel
 from ..machine.isa import VectorISA
+from ..observe import STAT
 from .codegen import emit_node_tree
 from .graph import NodeKind, SLPNode
 from .reorder import SuperNodeRecord
@@ -50,6 +51,16 @@ REDUCTION_FAMILIES = (Opcode.ADD, Opcode.FADD)
 
 #: LLVM requires a minimum number of reduced values before trying
 MIN_REDUCTION_LEAVES = 4
+
+_STAT_CHAINS_FOUND = STAT(
+    "reduction.chains-found", "Horizontal reduction chains detected"
+)
+_STAT_PLUS_LEAVES = STAT(
+    "reduction.plus-leaves", "Reduction leaves in the '+' APO partition"
+)
+_STAT_MINUS_LEAVES = STAT(
+    "reduction.minus-leaves", "Reduction leaves in the '-' APO partition"
+)
 
 
 @dataclass
@@ -125,6 +136,9 @@ def find_reduction_candidates(
             (minus if apo else plus).append(value)
         if len(plus) + len(minus) < MIN_REDUCTION_LEAVES:
             continue
+        _STAT_CHAINS_FOUND.add()
+        _STAT_PLUS_LEAVES.add(len(plus))
+        _STAT_MINUS_LEAVES.add(len(minus))
         candidates.append(ReductionCandidate(inst, chain, plus, minus))
     return candidates
 

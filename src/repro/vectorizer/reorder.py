@@ -21,8 +21,32 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..ir.builder import IRBuilder
 from ..ir.instructions import BinaryInst, Instruction, Opcode
 from ..ir.values import Value
+from ..observe import STAT
 from .lookahead import LookAheadScorer
 from .supernode import LaneChain, Leaf, Slot, TrunkUnit, build_lane_chain
+
+_STAT_NODES_FORMED = STAT(
+    "supernode.nodes-formed", "Multi-/Super-Nodes formed across all lanes"
+)
+_STAT_LEAF_MOVES = STAT(
+    "supernode.leaf-moves-applied", "leaf swaps applied by the reorder search"
+)
+_STAT_TRUNK_MOVES = STAT(
+    "supernode.trunk-moves-applied", "trunk swaps applied by the reorder search"
+)
+_STAT_MOVES_PROBED = STAT(
+    "supernode.moves-probed", "candidate leaf placements probed for legality"
+)
+_STAT_MOVES_REJECTED = STAT(
+    "supernode.moves-rejected-apo",
+    "candidate leaf placements rejected by APO legality",
+)
+_STAT_GROUPS_APPLIED = STAT(
+    "supernode.groups-applied", "operand indexes for which a lane group was applied"
+)
+_STAT_GROUPS_FAILED = STAT(
+    "supernode.groups-failed", "operand indexes left as-is (no legal group)"
+)
 
 
 @dataclass
@@ -111,6 +135,7 @@ class SuperNode:
                     return None
                 claimed.add(id(unit.inst))
         kind = "super" if allow_inverse else "multi"
+        _STAT_NODES_FORMED.add()
         return cls(chains, list(roots), allow_trunk_swaps, kind)
 
     # -- properties ---------------------------------------------------------------------
@@ -150,6 +175,13 @@ class SuperNode:
         group was applied.  ``visit_root_first=False`` reverses the operand
         visit order (used by the ablation benchmark)."""
         applied = 0
+        # Applied-move statistics are measured as deltas over the chains'
+        # own counters: failed placements restore them (place_leaf is
+        # transactional) and legality probes run on clones, so the deltas
+        # count exactly the moves that survive — the same numbers
+        # :meth:`record` later reports per node.
+        leaf_moves_before = sum(c.leaf_swaps_applied for c in self.chains)
+        trunk_moves_before = sum(c.trunk_swaps_applied for c in self.chains)
         locked: List[Dict[Slot, Value]] = [dict() for _ in self.chains]
         used: List[Set[int]] = [set() for _ in self.chains]
         # Slot lists are positional and stable: trunk swaps move unit
@@ -173,6 +205,7 @@ class SuperNode:
             ]
             group = self._find_best_group(op_index, scorer, locked, used, placeable)
             if group is None:
+                _STAT_GROUPS_FAILED.add()
                 # No legal group: leave the lanes as they are for this
                 # operand index, but lock whatever currently sits there so
                 # later indexes cannot disturb it.
@@ -191,6 +224,13 @@ class SuperNode:
                 locked[lane][slot] = leaf
                 used[lane].add(id(leaf))
             applied += 1
+            _STAT_GROUPS_APPLIED.add()
+        _STAT_LEAF_MOVES.add(
+            sum(c.leaf_swaps_applied for c in self.chains) - leaf_moves_before
+        )
+        _STAT_TRUNK_MOVES.add(
+            sum(c.trunk_swaps_applied for c in self.chains) - trunk_moves_before
+        )
         return applied
 
     def _find_best_group(
@@ -262,14 +302,19 @@ class SuperNode:
         locked: List[Dict[Slot, Value]],
     ) -> bool:
         chain = self.chains[lane]
+        _STAT_MOVES_PROBED.add()
         current = chain.slot_of_value(value)
         if current == target:
             return True
         if chain.can_swap_leaves(current, target):
-            return chain.can_place_leaf(value, target, locked[lane])
-        if not self.allow_trunk_swaps:
-            return False
-        return chain.can_place_leaf(value, target, locked[lane])
+            ok = chain.can_place_leaf(value, target, locked[lane])
+        elif not self.allow_trunk_swaps:
+            ok = False
+        else:
+            ok = chain.can_place_leaf(value, target, locked[lane])
+        if not ok:
+            _STAT_MOVES_REJECTED.add()
+        return ok
 
     # -- code generation (SN.generateCode, Listing 1 line 51) ------------------------------------------
 

@@ -84,18 +84,73 @@ class VectorizationReport:
     def node_count(self, vectorized_only: bool = True) -> int:
         return len(self.formed_nodes(vectorized_only))
 
-    def missed_reasons(self) -> Dict[str, int]:
+    def missed_reasons(self, include_vectorized: bool = False) -> Dict[str, int]:
         """Histogram of gather reasons across non-vectorized graphs — the
-        optimization-remark view of what blocked vectorization."""
+        optimization-remark view of what blocked vectorization.
+
+        ``include_vectorized=True`` also counts gather reasons from graphs
+        that *did* vectorize: those partial gathers did not block the graph
+        but still cost shuffles, and were previously silently dropped.
+        """
         histogram: Dict[str, int] = {}
         for graph in self.all_graphs():
-            if graph.vectorized:
+            if graph.vectorized and not include_vectorized:
                 continue
             for reason in graph.gather_reasons:
                 histogram[reason] = histogram.get(reason, 0) + 1
         return dict(
             sorted(histogram.items(), key=lambda pair: (-pair[1], pair[0]))
         )
+
+    def partial_gather_reasons(self) -> Dict[str, int]:
+        """Histogram of gather reasons inside *vectorized* graphs only:
+        lanes that were gathered even though the graph was profitable."""
+        histogram: Dict[str, int] = {}
+        for graph in self.vectorized_graphs():
+            for reason in graph.gather_reasons:
+                histogram[reason] = histogram.get(reason, 0) + 1
+        return dict(
+            sorted(histogram.items(), key=lambda pair: (-pair[1], pair[0]))
+        )
+
+    def to_remarks(self):
+        """Re-derive structured remarks from the recorded graphs.
+
+        Unlike the live :data:`repro.observe.REMARKS` stream (which must be
+        enabled before compilation), this works after the fact from the
+        report alone: one passed/missed remark per graph plus one analysis
+        remark per gather reason.
+        """
+        from ..observe import Remark
+
+        remarks: List = []
+        for graph in self.all_graphs():
+            kind = "passed" if graph.vectorized else "missed"
+            verb = "vectorized" if graph.vectorized else "not profitable"
+            remarks.append(
+                Remark(
+                    kind=kind,
+                    pass_name="slp",
+                    message=f"{graph.lanes}-lane {graph.kind} graph {verb}",
+                    function=graph.function,
+                    block=graph.block,
+                    seed=graph.kind,
+                    args={"cost": graph.cost, "lanes": graph.lanes},
+                )
+            )
+            for reason in graph.gather_reasons:
+                remarks.append(
+                    Remark(
+                        kind="analysis",
+                        pass_name="slp",
+                        message=f"gather: {reason}",
+                        function=graph.function,
+                        block=graph.block,
+                        seed=graph.kind,
+                        args={"in_vectorized_graph": graph.vectorized},
+                    )
+                )
+        return remarks
 
     def summary(self) -> str:
         graphs = self.all_graphs()

@@ -15,6 +15,14 @@ from ..ir.block import BasicBlock
 from ..ir.instructions import StoreInst
 from ..ir.types import Type
 from ..machine.isa import VectorISA
+from ..observe import STAT
+
+_STAT_SEED_BUNDLES = STAT(
+    "slp.seed-bundles", "Store seed bundles collected across all blocks"
+)
+_STAT_SEED_STORES = STAT(
+    "slp.seed-stores", "Scalar stores captured into seed bundles"
+)
 
 
 def _group_key(info: AddressInfo, element: Type) -> Tuple[int, int, Type]:
@@ -53,6 +61,8 @@ def collect_store_seeds(block: BasicBlock, isa: VectorISA) -> List[List[StoreIns
         members.sort(key=lambda pair: pair[1].offset)
         element = members[0][0].value.type
         seeds.extend(_chunk_run(members, isa.legal_lane_counts(element)))
+    _STAT_SEED_BUNDLES.add(len(seeds))
+    _STAT_SEED_STORES.add(sum(len(seed) for seed in seeds))
     return seeds
 
 

@@ -34,6 +34,7 @@ from ..ir.module import Module
 from ..ir.types import VectorType, vector_of
 from ..ir.values import Value
 from ..machine.targets import TargetMachine
+from ..observe import REMARKS, STAT, TRACER
 from .codegen import emit_vector_code
 from .cost import compute_graph_cost, is_profitable
 from .graph import NodeKind, SLPGraph, SLPNode
@@ -47,6 +48,34 @@ from .lookahead import LookAheadScorer
 from .reorder import SuperNode, SuperNodeRecord
 from .seeds import collect_store_seeds
 from .report import FunctionReport, GraphReport, VectorizationReport
+
+
+_STAT_GRAPHS_BUILT = STAT("slp.graphs-built", "SLP graphs grown from seed bundles")
+_STAT_GRAPHS_VECTORIZED = STAT(
+    "slp.graphs-vectorized", "graphs accepted and emitted as vector code"
+)
+_STAT_COST_REJECTS = STAT(
+    "slp.graphs-rejected-cost", "graphs rejected by the profitability threshold"
+)
+_STAT_SEEDS_UNSCHEDULABLE = STAT(
+    "slp.seeds-unschedulable", "seed store bundles that failed scheduling checks"
+)
+_STAT_GATHER_NODES = STAT("slp.gather-nodes", "gather nodes in built graphs")
+_STAT_CHAIN_UNDOS = STAT(
+    "supernode.undo-events", "chain massages reverted after an unprofitable graph"
+)
+_STAT_REDUCTIONS_VECTORIZED = STAT(
+    "reduction.vectorized", "horizontal reductions emitted as vector code"
+)
+_STAT_REDUCTIONS_REJECTED = STAT(
+    "reduction.rejected", "horizontal reduction candidates rejected (plan or cost)"
+)
+_STAT_MINMAX_VECTORIZED = STAT(
+    "minmax.vectorized", "min/max reductions emitted as vector code"
+)
+_STAT_MINMAX_REJECTED = STAT(
+    "minmax.rejected", "min/max reduction candidates rejected (plan or cost)"
+)
 
 
 @dataclass(frozen=True)
@@ -422,9 +451,10 @@ class SLPVectorizer:
         report = FunctionReport(name=function.name)
         if not self.config.enable_vectorizer:
             return report
-        for block in list(function.blocks):
-            self._run_on_block(function, block, report)
-        eliminate_dead_code(function)
+        with TRACER.span("slp.function", function=function.name):
+            for block in list(function.blocks):
+                self._run_on_block(function, block, report)
+            eliminate_dead_code(function)
         return report
 
     def run_on_module(self, module: Module) -> VectorizationReport:
@@ -452,32 +482,53 @@ class SLPVectorizer:
                 continue
             if any(store.parent is None for store in seed):
                 continue  # erased by a previous graph's codegen
-            builder = _GraphBuilder(self, seed, function)
-            graph = builder.build()  # step 3
-            if graph is None:
-                continue
-            compute_graph_cost(graph, self.target.cost_model)  # step 4
-            profitable = is_profitable(
-                graph, self.config.profitability_threshold
-            )  # step 5
-            if profitable:
-                emit_vector_code(graph)  # step 6b
-                self.consumed_ids |= graph.internal_instruction_ids()
-                for record in graph.supernodes:
-                    record.vectorized = True
-            else:
-                # Listing 1 line 53: revert the Super-Node code massaging
-                # so the function is left exactly as the vectorizer found
-                # it.  Nested chains are undone innermost-last-formed
-                # first, remapping leaves whose originals were erased by
-                # an inner chain's own generate_code.
-                leaf_remap: Dict[int, Value] = {}
-                for node in reversed(builder.formed_chains):
-                    restored = node.undo_code(leaf_remap)
-                    for original, replacement in zip(
-                        node.original_roots, restored
-                    ):
-                        leaf_remap[id(original)] = replacement
+            with TRACER.span(
+                "slp.graph", function=function.name, block=block.name,
+                lanes=len(seed),
+            ):
+                builder = _GraphBuilder(self, seed, function)
+                graph = builder.build()  # step 3
+                if graph is None:
+                    _STAT_SEEDS_UNSCHEDULABLE.add()
+                    REMARKS.missed(
+                        "slp",
+                        "seed store bundle is not schedulable",
+                        function=function.name,
+                        block=block.name,
+                        seed="store",
+                        lanes=len(seed),
+                    )
+                    continue
+                _STAT_GRAPHS_BUILT.add()
+                _STAT_GATHER_NODES.add(len(graph.gather_nodes()))
+                compute_graph_cost(graph, self.target.cost_model)  # step 4
+                profitable = is_profitable(
+                    graph, self.config.profitability_threshold
+                )  # step 5
+                if profitable:
+                    emit_vector_code(graph)  # step 6b
+                    self.consumed_ids |= graph.internal_instruction_ids()
+                    for record in graph.supernodes:
+                        record.vectorized = True
+                    _STAT_GRAPHS_VECTORIZED.add()
+                else:
+                    _STAT_COST_REJECTS.add()
+                    # Listing 1 line 53: revert the Super-Node code massaging
+                    # so the function is left exactly as the vectorizer found
+                    # it.  Nested chains are undone innermost-last-formed
+                    # first, remapping leaves whose originals were erased by
+                    # an inner chain's own generate_code.
+                    leaf_remap: Dict[int, Value] = {}
+                    for node in reversed(builder.formed_chains):
+                        restored = node.undo_code(leaf_remap)
+                        _STAT_CHAIN_UNDOS.add()
+                        for original, replacement in zip(
+                            node.original_roots, restored
+                        ):
+                            leaf_remap[id(original)] = replacement
+                self._remark_graph_outcome(
+                    function, block, graph, profitable, seed_kind="store"
+                )
             report.graphs.append(
                 GraphReport(
                     function=function.name,
@@ -493,6 +544,54 @@ class SLPVectorizer:
                         node.reason for node in graph.gather_nodes()
                     ],
                 )
+            )
+
+    # -- optimization remarks -----------------------------------------------------------------
+
+    def _remark_graph_outcome(
+        self,
+        function: Function,
+        block: BasicBlock,
+        graph: "SLPGraph",
+        profitable: bool,
+        seed_kind: str,
+    ) -> None:
+        """Emit passed/missed (+ gather analysis) remarks for one graph."""
+        if not REMARKS.enabled:
+            return
+        where = dict(function=function.name, block=block.name, seed=seed_kind)
+        reasons: Dict[str, int] = {}
+        for node in graph.gather_nodes():
+            reasons[node.reason] = reasons.get(node.reason, 0) + 1
+        if profitable:
+            REMARKS.passed(
+                "slp",
+                f"vectorized {graph.root.num_lanes}-lane {seed_kind} graph "
+                f"(cost {graph.total_cost:+.1f})",
+                cost=graph.total_cost,
+                lanes=graph.root.num_lanes,
+                supernodes=len(graph.supernodes),
+                **where,
+            )
+            # Partial gathers survive inside vectorized graphs; surface
+            # them as analysis remarks (see VectorizationReport.
+            # partial_gather_reasons for the histogram view).
+            for reason, count in sorted(reasons.items()):
+                REMARKS.analysis(
+                    "slp",
+                    f"partial gather in vectorized graph: {reason}",
+                    count=count,
+                    **where,
+                )
+        else:
+            REMARKS.missed(
+                "slp",
+                f"graph not profitable (cost {graph.total_cost:+.1f} >= "
+                f"{self.config.profitability_threshold:g})",
+                cost=graph.total_cost,
+                lanes=graph.root.num_lanes,
+                gather_reasons=reasons,
+                **where,
             )
 
     # -- horizontal reductions (-slp-vectorize-hor) -----------------------------------------------
@@ -517,14 +616,38 @@ class SLPVectorizer:
         for candidate in candidates:
             if candidate.root.parent is None:
                 continue  # erased by a previous transformation
-            builder = _GraphBuilder(self, (), function, anchor=candidate.root)
-            plan = plan_reduction(
-                candidate, builder, self.target.isa, self.target.cost_model
-            )
+            with TRACER.span(
+                "slp.reduction", function=function.name, block=block.name,
+                leaves=candidate.leaf_count,
+            ):
+                builder = _GraphBuilder(self, (), function, anchor=candidate.root)
+                plan = plan_reduction(
+                    candidate, builder, self.target.isa, self.target.cost_model
+                )
             if plan is None:
+                _STAT_REDUCTIONS_REJECTED.add()
+                REMARKS.missed(
+                    "reduction",
+                    f"no profitable chunking for {candidate.leaf_count} leaves",
+                    function=function.name,
+                    block=block.name,
+                    seed="reduction",
+                    leaves=candidate.leaf_count,
+                )
                 continue
             profitable = plan.total_cost < self.config.profitability_threshold
             if profitable:
+                _STAT_REDUCTIONS_VECTORIZED.add()
+                REMARKS.passed(
+                    "reduction",
+                    f"vectorized {candidate.leaf_count}-leaf reduction at "
+                    f"VF={plan.vector_width} (cost {plan.total_cost:+.1f})",
+                    function=function.name,
+                    block=block.name,
+                    seed="reduction",
+                    cost=plan.total_cost,
+                    width=plan.vector_width,
+                )
                 emit_reduction(plan)
                 for _, unit in candidate.chain.trunks():
                     self.consumed_ids.add(id(unit.inst))
@@ -532,6 +655,18 @@ class SLPVectorizer:
                     if node.kind is not NodeKind.GATHER:
                         for inst in node.instructions():
                             self.consumed_ids.add(id(inst))
+            else:
+                _STAT_REDUCTIONS_REJECTED.add()
+                REMARKS.missed(
+                    "reduction",
+                    f"reduction not profitable (cost {plan.total_cost:+.1f} >= "
+                    f"{self.config.profitability_threshold:g})",
+                    function=function.name,
+                    block=block.name,
+                    seed="reduction",
+                    cost=plan.total_cost,
+                    width=plan.vector_width,
+                )
             kind = "super" if self.config.enable_supernode else "multi"
             record = candidate.record(kind)
             record.vectorized = profitable
@@ -570,14 +705,40 @@ class SLPVectorizer:
         for candidate in candidates:
             if candidate.root.parent is None:
                 continue
-            builder = _GraphBuilder(self, (), function, anchor=candidate.root)
-            plan = plan_minmax(
-                candidate, builder, self.target.isa, self.target.cost_model
-            )
+            with TRACER.span(
+                "slp.minmax", function=function.name, block=block.name,
+                leaves=candidate.leaf_count,
+            ):
+                builder = _GraphBuilder(self, (), function, anchor=candidate.root)
+                plan = plan_minmax(
+                    candidate, builder, self.target.isa, self.target.cost_model
+                )
             if plan is None:
+                _STAT_MINMAX_REJECTED.add()
+                REMARKS.missed(
+                    "minmax",
+                    f"no profitable chunking for {candidate.leaf_count}-leaf "
+                    f"{candidate.callee} reduction",
+                    function=function.name,
+                    block=block.name,
+                    seed="minmax",
+                    leaves=candidate.leaf_count,
+                )
                 continue
             profitable = plan.total_cost < self.config.profitability_threshold
             if profitable:
+                _STAT_MINMAX_VECTORIZED.add()
+                REMARKS.passed(
+                    "minmax",
+                    f"vectorized {candidate.leaf_count}-leaf {candidate.callee} "
+                    f"reduction at VF={plan.vector_width} "
+                    f"(cost {plan.total_cost:+.1f})",
+                    function=function.name,
+                    block=block.name,
+                    seed="minmax",
+                    cost=plan.total_cost,
+                    width=plan.vector_width,
+                )
                 emit_minmax(plan)
                 for call in candidate.chain_calls:
                     self.consumed_ids.add(id(call))
@@ -585,6 +746,19 @@ class SLPVectorizer:
                     if node.kind is not NodeKind.GATHER:
                         for inst in node.instructions():
                             self.consumed_ids.add(id(inst))
+            else:
+                _STAT_MINMAX_REJECTED.add()
+                REMARKS.missed(
+                    "minmax",
+                    f"{candidate.callee} reduction not profitable "
+                    f"(cost {plan.total_cost:+.1f} >= "
+                    f"{self.config.profitability_threshold:g})",
+                    function=function.name,
+                    block=block.name,
+                    seed="minmax",
+                    cost=plan.total_cost,
+                    width=plan.vector_width,
+                )
             record = candidate.record()
             record.vectorized = profitable
             report.graphs.append(

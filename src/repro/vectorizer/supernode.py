@@ -44,6 +44,11 @@ from ..ir.instructions import (
     is_commutative,
 )
 from ..ir.values import Value
+from ..observe import STAT
+
+_STAT_CHAINS_GROWN = STAT(
+    "supernode.lane-chains-grown", "Lane chains of >= 2 trunks grown"
+)
 
 
 #: APO values: False = identity operation ('+'/'*'), True = inverse ('-'/'/')
@@ -522,4 +527,5 @@ def build_lane_chain(
     chain = LaneChain(grow(root), family)
     if chain.size() < 2:
         return None
+    _STAT_CHAINS_GROWN.add()
     return chain
