@@ -7,12 +7,15 @@ IR, executing on the simulator and comparing configurations::
     python -m repro run kernel.sn --kernel fig3 --n 512
     python -m repro compare kernel.sn --kernel fig3 --n 512
     python -m repro report kernel.sn --config sn-slp
+    python -m repro fuzz --budget 30s --seed 0 --out fuzz-artifacts
+    python -m repro fuzz --replay fuzz-artifacts/failure-0000/reduced.ir
 
 ``compile`` prints the (vectorized) IR; ``run`` executes one kernel and
 dumps the output buffers; ``compare`` runs every configuration on the same
 random inputs and reports speedups + correctness; ``report`` shows the SLP
-graphs the vectorizer built.  Global buffers are seeded deterministically
-from ``--seed``.
+graphs the vectorizer built; ``fuzz`` runs a differential-testing
+campaign (or replays a saved reproducer).  Global buffers are seeded
+deterministically from ``--seed``.
 """
 
 from __future__ import annotations
@@ -286,6 +289,58 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import run_campaign, replay_file
+    from .fuzz.campaign import FUZZ_STATS
+    from .fuzz.oracle import failure_signature
+
+    target = target_named(args.target)
+
+    if args.replay:
+        report = replay_file(
+            args.replay,
+            target=target,
+            input_seed=args.input_seed,
+            max_ulps=args.max_ulps,
+        )
+        print(f"replay {args.replay}:")
+        for outcome in report.outcomes:
+            line = f"  {outcome.config:10s} {outcome.status}"
+            if outcome.detail:
+                line += f"  ({outcome.detail})"
+            print(line)
+        if report.reference_trapped:
+            print("  reference run trapped: the reproducer is input-sensitive")
+        return 0 if report.ok else 1
+
+    result = run_campaign(
+        budget=args.budget,
+        seed=args.seed,
+        out_dir=args.out,
+        target=target,
+        input_seed=args.input_seed,
+        max_ulps=args.max_ulps,
+        reduce_failures=not args.no_reduce,
+        progress=lambda line: print(f"; {line}", file=sys.stderr),
+    )
+    print(result.summary())
+    if args.stats:
+        print(
+            FUZZ_STATS.report(title="Fuzzing Campaign Statistics"),
+            file=sys.stderr,
+        )
+        args._stats_printed = True
+    for failure in result.failures:
+        if failure.reduction is not None:
+            print(
+                f"; failure #{failure.index}: reduced "
+                f"{failure.reduction.instructions_before} -> "
+                f"{failure.reduction.instructions_after} instruction(s)",
+                file=sys.stderr,
+            )
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -365,6 +420,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_report = sub.add_parser("report", help="show the vectorizer's SLP graphs")
     common(p_report)
     p_report.set_defaults(fn=cmd_report)
+
+    # fuzz generates its own programs — no positional source argument
+    p_fuzz = sub.add_parser(
+        "fuzz", help="run a differential-testing campaign (or replay a reproducer)"
+    )
+    p_fuzz.add_argument(
+        "--budget",
+        default="30s",
+        help="campaign budget: '200' (programs) or '30s'/'2m'/'1h' (wall clock)",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p_fuzz.add_argument(
+        "--out",
+        metavar="DIR",
+        help="write failure-NNNN artifact directories under DIR",
+    )
+    p_fuzz.add_argument(
+        "--replay",
+        metavar="FILE",
+        help="re-run the oracle on a saved .ir reproducer instead of fuzzing",
+    )
+    p_fuzz.add_argument(
+        "--no-reduce",
+        action="store_true",
+        help="save failures without delta-debugging them",
+    )
+    p_fuzz.add_argument(
+        "--target",
+        default=DEFAULT_TARGET.name,
+        help="target machine (skylake-like, sse4-like, no-addsub, scalar)",
+    )
+    p_fuzz.add_argument(
+        "--input-seed", type=int, default=1, help="seed for buffer contents"
+    )
+    p_fuzz.add_argument(
+        "--max-ulps",
+        type=int,
+        default=4096,
+        help="float comparison tolerance in ULPs",
+    )
+    p_fuzz.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the campaign bucket counter table on stderr",
+    )
+    p_fuzz.set_defaults(fn=cmd_fuzz)
     return parser
 
 

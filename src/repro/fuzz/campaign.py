@@ -1,0 +1,341 @@
+"""Budgeted fuzzing campaigns and reproducer replay.
+
+A campaign is a deterministic loop: program seeds derive from the
+campaign seed and the program index, so ``--budget 200 --seed 0`` visits
+the exact same 200 programs (and produces identical bucket statistics)
+on every run.  Time budgets (``30s``, ``2m``) trade that determinism for
+wall-clock control — bucket *rates* stay stable, totals depend on the
+machine.
+
+Bucket statistics live in a campaign-private
+:class:`~repro.observe.stats.StatsRegistry` rather than the process-wide
+``STATS``: ``compile_module`` resets the global registry on every
+compilation, which would wipe campaign counters mid-flight.
+
+Failures become artifact directories::
+
+    <out>/failure-0000/
+        original.ir     the generated program that failed
+        reduced.ir      the delta-debugged minimal reproducer
+        report.json     oracle outcomes for original and reduced modules
+        remarks.jsonl   optimization remarks for the failing config
+
+Replay a saved reproducer with ``repro fuzz --replay failure-0000/reduced.ir``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..ir.module import Module
+from ..ir.parser import parse_module
+from ..ir.verifier import verify_module
+from ..kernels.seeding import derive_seed
+from ..machine.targets import DEFAULT_TARGET, TargetMachine
+from ..observe import REMARKS, StatsRegistry
+from ..vectorizer import ALL_CONFIGS, SLPConfig, compile_module
+from .genprog import FuzzProgram, generate_program, random_spec
+from .oracle import (
+    DEFAULT_MAX_ULPS,
+    OracleReport,
+    failure_signature,
+    run_oracle,
+)
+from .reduce import ReductionResult, count_instructions, reduce_module, write_reproducer
+
+#: campaign-private counter registry (see module docstring)
+FUZZ_STATS = StatsRegistry()
+
+_PROGRAMS = FUZZ_STATS.stat("fuzz.programs-generated", "programs generated")
+_VECTORIZED = FUZZ_STATS.stat(
+    "fuzz.programs-vectorized", "programs vectorized by at least one config"
+)
+_OK = FUZZ_STATS.stat("fuzz.programs-ok", "programs with all configs equivalent")
+_MISMATCHES = FUZZ_STATS.stat("fuzz.mismatches", "scalar/vector output mismatches")
+_TRAPS = FUZZ_STATS.stat("fuzz.traps", "programs whose reference run trapped")
+_VERIFIER = FUZZ_STATS.stat(
+    "fuzz.verifier-failures", "post-vectorization IR verifier failures"
+)
+_GAPS = FUZZ_STATS.stat("fuzz.interp-gaps", "interpreter gaps (unsupported opcodes)")
+_CRASHES = FUZZ_STATS.stat("fuzz.crashes", "compiler crashes")
+
+
+def parse_budget(text: str) -> Tuple[str, float]:
+    """Parse a budget: a bare integer is a program count, a number with
+    an ``s``/``m``/``h`` suffix is a wall-clock duration."""
+    match = re.fullmatch(r"\s*(\d+)\s*([smh]?)\s*", str(text))
+    if not match:
+        raise ValueError(
+            f"bad budget {text!r}: expected e.g. '200' (programs) or '30s'"
+        )
+    amount, unit = int(match.group(1)), match.group(2)
+    if not unit:
+        return ("count", float(amount))
+    scale = {"s": 1.0, "m": 60.0, "h": 3600.0}[unit]
+    return ("time", amount * scale)
+
+
+@dataclass
+class FailureArtifact:
+    """One failing program and (when reduction ran) its reproducer."""
+
+    index: int
+    report: OracleReport
+    directory: Optional[str] = None
+    reduction: Optional[ReductionResult] = None
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run produced."""
+
+    programs: int
+    elapsed_seconds: float
+    stats: Dict[str, float]
+    failures: List[FailureArtifact] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz campaign: {self.programs} program(s) in "
+            f"{self.elapsed_seconds:.1f}s, {len(self.failures)} failure(s)"
+        ]
+        for name, value in sorted(self.stats.items()):
+            lines.append(f"  {name:28s} {value:g}")
+        for failure in self.failures:
+            where = failure.directory or "(not saved)"
+            sig = ", ".join(
+                f"{cfg}:{status}"
+                for cfg, status in failure_signature(failure.report)
+            )
+            lines.append(f"  failure #{failure.index}: {sig} -> {where}")
+        return "\n".join(lines)
+
+
+def _bucket(report: OracleReport) -> None:
+    """Bump the campaign counters for one oracle report."""
+    _PROGRAMS.add()
+    if report.reference_trapped:
+        _TRAPS.add()
+        return
+    if report.vectorized:
+        _VECTORIZED.add()
+    if report.ok:
+        _OK.add()
+        return
+    statuses = {outcome.status for outcome in report.outcomes}
+    if "mismatch" in statuses:
+        _MISMATCHES.add()
+    if "verifier" in statuses:
+        _VERIFIER.add()
+    if "interp-gap" in statuses:
+        _GAPS.add()
+    if "crash" in statuses:
+        _CRASHES.add()
+
+
+def _reduction_predicate(
+    signature: Sequence[Tuple[str, str]],
+    kernel: str,
+    args: Tuple[int, ...],
+    configs: Sequence[SLPConfig],
+    target: TargetMachine,
+    input_seed: int,
+    max_ulps: int,
+) -> Callable[[Module], bool]:
+    """Build the reducer predicate: the candidate must reproduce at least
+    one of the original (config, status) failure pairs."""
+    wanted = set(signature)
+
+    def predicate(module: Module) -> bool:
+        program = FuzzProgram(spec=None, module=module, kernel=kernel, args=args)
+        report = run_oracle(
+            program,
+            input_seed=input_seed,
+            configs=configs,
+            target=target,
+            max_ulps=max_ulps,
+        )
+        return bool(wanted & set(failure_signature(report)))
+
+    return predicate
+
+
+def _write_failure_remarks(
+    module: Module,
+    config_name: str,
+    configs: Sequence[SLPConfig],
+    target: TargetMachine,
+    path: str,
+) -> None:
+    """Compile the reproducer under its failing config with the remark
+    collector armed, dumping PR 1's observability JSONL next to it."""
+    config = next((c for c in configs if c.name == config_name), None)
+    if config is None:
+        return
+    was_enabled = REMARKS.enabled
+    REMARKS.clear()
+    REMARKS.enable()
+    try:
+        compile_module(module, config, target)
+    except Exception:  # noqa: BLE001 - remarks of a crash are still useful
+        pass
+    finally:
+        REMARKS.write_jsonl(path)
+        REMARKS.clear()
+        if not was_enabled:
+            REMARKS.disable()
+
+
+def _save_failure(
+    artifact: FailureArtifact,
+    out_dir: str,
+    configs: Sequence[SLPConfig],
+    target: TargetMachine,
+    input_seed: int,
+    max_ulps: int,
+    reduce_failures: bool,
+) -> None:
+    directory = os.path.join(out_dir, f"failure-{artifact.index:04d}")
+    os.makedirs(directory, exist_ok=True)
+    artifact.directory = directory
+    program = artifact.report.program
+    write_reproducer(program.module, os.path.join(directory, "original.ir"))
+
+    signature = failure_signature(artifact.report)
+    document: Dict[str, object] = {"original": artifact.report.to_json()}
+    reproducer = program.module
+    if reduce_failures and signature:
+        predicate = _reduction_predicate(
+            signature,
+            program.kernel,
+            program.args,
+            configs,
+            target,
+            input_seed,
+            max_ulps,
+        )
+        artifact.reduction = reduce_module(program.module, predicate)
+        reproducer = artifact.reduction.module
+        write_reproducer(reproducer, os.path.join(directory, "reduced.ir"))
+        document["reduction"] = {
+            "instructions_before": artifact.reduction.instructions_before,
+            "instructions_after": artifact.reduction.instructions_after,
+            "edits_applied": artifact.reduction.edits_applied,
+            "candidates_tried": artifact.reduction.candidates_tried,
+        }
+    if signature:
+        _write_failure_remarks(
+            reproducer,
+            signature[0][0],
+            configs,
+            target,
+            os.path.join(directory, "remarks.jsonl"),
+        )
+    with open(os.path.join(directory, "report.json"), "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+
+
+def run_campaign(
+    budget: str = "30s",
+    seed: int = 0,
+    out_dir: Optional[str] = None,
+    configs: Sequence[SLPConfig] = ALL_CONFIGS,
+    target: TargetMachine = DEFAULT_TARGET,
+    input_seed: int = 1,
+    max_ulps: int = DEFAULT_MAX_ULPS,
+    reduce_failures: bool = True,
+    max_failures: int = 25,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Run one fuzzing campaign within ``budget``.
+
+    The campaign stops early once ``max_failures`` distinct failing
+    programs have been collected (reduction dominates runtime by then).
+    """
+    kind, amount = parse_budget(budget)
+    FUZZ_STATS.reset()
+    failures: List[FailureArtifact] = []
+    started = time.perf_counter()
+    index = 0
+    while True:
+        if kind == "count" and index >= amount:
+            break
+        if kind == "time" and time.perf_counter() - started >= amount:
+            break
+        if len(failures) >= max_failures:
+            break
+        spec = random_spec(derive_seed(seed, f"campaign-program/{index}"))
+        program = generate_program(spec)
+        report = run_oracle(
+            program,
+            input_seed=input_seed,
+            configs=configs,
+            target=target,
+            max_ulps=max_ulps,
+        )
+        _bucket(report)
+        if not report.ok and not report.reference_trapped:
+            artifact = FailureArtifact(index=index, report=report)
+            failures.append(artifact)
+            if out_dir is not None:
+                _save_failure(
+                    artifact,
+                    out_dir,
+                    configs,
+                    target,
+                    input_seed,
+                    max_ulps,
+                    reduce_failures,
+                )
+            if progress is not None:
+                progress(
+                    f"failure #{index} ({spec.shape}, seed {spec.seed}): "
+                    + "; ".join(
+                        f"{cfg}:{status}"
+                        for cfg, status in failure_signature(report)
+                    )
+                )
+        index += 1
+    return CampaignResult(
+        programs=index,
+        elapsed_seconds=time.perf_counter() - started,
+        stats=FUZZ_STATS.snapshot(),
+        failures=failures,
+    )
+
+
+def replay_file(
+    path: str,
+    configs: Sequence[SLPConfig] = ALL_CONFIGS,
+    target: TargetMachine = DEFAULT_TARGET,
+    input_seed: int = 1,
+    max_ulps: int = DEFAULT_MAX_ULPS,
+) -> OracleReport:
+    """Re-run the oracle on a saved ``.ir`` reproducer."""
+    with open(path) as handle:
+        module = parse_module(handle.read())
+    verify_module(module)
+    names = list(module.functions)
+    if len(names) != 1:
+        raise ValueError(
+            f"{path}: expected exactly one kernel, found {names}"
+        )
+    kernel = names[0]
+    args = tuple(0 for _ in module.functions[kernel].arguments)
+    program = FuzzProgram(spec=None, module=module, kernel=kernel, args=args)
+    return run_oracle(
+        program,
+        input_seed=input_seed,
+        configs=configs,
+        target=target,
+        max_ulps=max_ulps,
+    )

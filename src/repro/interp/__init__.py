@@ -1,7 +1,13 @@
 """Reference interpreter and flat memory model for the repro IR."""
 
 from .memory import Memory, MemoryError_
-from .interpreter import Interpreter, InterpreterError, TrapError, run_kernel
+from .interpreter import (
+    Interpreter,
+    InterpreterError,
+    TrapError,
+    UnsupportedOpcodeError,
+    run_kernel,
+)
 
 __all__ = [
     "Memory",
@@ -9,5 +15,6 @@ __all__ = [
     "Interpreter",
     "InterpreterError",
     "TrapError",
+    "UnsupportedOpcodeError",
     "run_kernel",
 ]

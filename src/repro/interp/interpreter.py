@@ -53,6 +53,16 @@ class TrapError(InterpreterError):
     """Raised when the interpreted program traps (e.g. divide by zero)."""
 
 
+class UnsupportedOpcodeError(InterpreterError):
+    """Raised when the interpreter itself lacks support for an opcode or
+    intrinsic — an *interpreter gap*, not a property of the program.
+
+    The differential oracle (:mod:`repro.fuzz.oracle`) relies on this
+    distinction: a gap means "extend the interpreter", while any other
+    divergence between scalar and vectorized runs means "miscompile".
+    """
+
+
 def _elementwise(op, a, b):
     if isinstance(a, tuple):
         return tuple(op(x, y) for x, y in zip(a, b))
@@ -224,6 +234,11 @@ class Interpreter:
             a = self._value(env, inst.a)
             b = self._value(env, inst.b)
             joined = tuple(a) + tuple(b)
+            if any(not 0 <= m < len(joined) for m in inst.mask):
+                raise InterpreterError(
+                    f"shufflevector mask {inst.mask} out of range for "
+                    f"{len(joined)} source lanes"
+                )
             env[id(inst)] = tuple(joined[m] for m in inst.mask)
             return None
         if isinstance(inst, CmpInst):
@@ -259,7 +274,12 @@ class Interpreter:
                 env[id(inst)] = fold_cast(inst.opcode, value, inst.type)
             return None
         if isinstance(inst, CallInst):
-            impl = _INTRINSIC_IMPL[inst.callee]
+            impl = _INTRINSIC_IMPL.get(inst.callee)
+            if impl is None:
+                raise UnsupportedOpcodeError(
+                    f"interpreter has no implementation for intrinsic "
+                    f"@{inst.callee}"
+                )
             args = [self._value(env, op) for op in inst.operands]
             if isinstance(args[0], tuple):
                 lanes = zip(*args)
@@ -277,7 +297,7 @@ class Interpreter:
                 self._value(env, inst.value) if inst.value is not None else None
             )
             return ("ret", value)
-        raise InterpreterError(f"unhandled instruction {inst.opcode}")
+        raise UnsupportedOpcodeError(f"unhandled instruction {inst.opcode}")
 
     def _binary(self, opcode: Opcode, type_: Type, a, b):
         elem = type_.scalar_type()

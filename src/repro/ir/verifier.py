@@ -18,8 +18,15 @@ from typing import Dict, List, Set
 
 from .block import BasicBlock
 from .function import Function
-from .instructions import Instruction, PhiInst
+from .instructions import (
+    ExtractElementInst,
+    InsertElementInst,
+    Instruction,
+    PhiInst,
+    ShuffleVectorInst,
+)
 from .module import Module
+from .types import VectorType
 from .values import Argument, Constant, GlobalBuffer, User, Value
 
 
@@ -30,6 +37,23 @@ class VerificationError(Exception):
 def _check(condition: bool, message: str) -> None:
     if not condition:
         raise VerificationError(message)
+
+
+def _reverse_postorder(function: Function) -> Dict[int, int]:
+    """Map ``id(block)`` -> RPO index for blocks reachable from entry."""
+    order: List[BasicBlock] = []
+    visited: Set[int] = set()
+
+    def visit(block: BasicBlock) -> None:
+        visited.add(id(block))
+        for succ in block.successors():
+            if id(succ) not in visited:
+                visit(succ)
+        order.append(block)
+
+    visit(function.entry)
+    order.reverse()
+    return {id(block): index for index, block in enumerate(order)}
 
 
 def _predecessors(function: Function) -> Dict[BasicBlock, List[BasicBlock]]:
@@ -121,6 +145,35 @@ def verify_function(function: Function) -> None:
                         f"definition",
                     )
 
+    # Pass 3b: cross-block use-before-def ordering.  For the reducible
+    # single-loop CFGs the kernels use, a non-phi use of a value defined in
+    # a *different* block is only valid when the defining block precedes
+    # the using block in reverse postorder — values flowing around a back
+    # edge must travel through a phi.  (Unreachable blocks are exempt;
+    # pass 2 already pinned their operands to this function.)
+    rpo = _reverse_postorder(function)
+    def_block: Dict[int, BasicBlock] = {}
+    for block in function.blocks:
+        for inst in block:
+            def_block[id(inst)] = block
+    for block in function.blocks:
+        use_index = rpo.get(id(block))
+        if use_index is None:
+            continue
+        for inst in block:
+            if isinstance(inst, PhiInst):
+                continue
+            for op in inst.operands:
+                home = def_block.get(id(op))
+                if home is None or home is block:
+                    continue
+                home_index = rpo.get(id(home))
+                _check(
+                    home_index is not None and home_index < use_index,
+                    f"{function.name}/{block.name}: %{op.name} used before "
+                    f"its defining block {home.name} (no dominating path)",
+                )
+
     # Pass 4: phi edges match predecessors exactly.
     preds = _predecessors(function)
     for block in function.blocks:
@@ -149,6 +202,41 @@ def verify_function(function: Function) -> None:
                     and use.user.operand(use.index) is inst,
                     f"{function.name}/{block.name}: stale use record on "
                     f"%{inst.name}",
+                )
+
+    # Pass 6: vector-lane bounds.  Static insert/extract lanes and shuffle
+    # masks must index existing lanes — the fuzzing reducer leans on this
+    # to reject shrink candidates that narrowed a vector out from under
+    # its users.
+    for block in function.blocks:
+        for inst in block:
+            if isinstance(inst, (InsertElementInst, ExtractElementInst)):
+                vec_type = inst.operand(0).type
+                _check(
+                    isinstance(vec_type, VectorType),
+                    f"{function.name}/{block.name}: {inst.opcode} on "
+                    f"non-vector {vec_type}",
+                )
+                lane = inst.lane
+                if isinstance(lane, Constant):
+                    _check(
+                        0 <= int(lane.value) < vec_type.count,
+                        f"{function.name}/{block.name}: {inst.opcode} lane "
+                        f"{lane.value} out of range for {vec_type}",
+                    )
+            if isinstance(inst, ShuffleVectorInst):
+                a_type = inst.a.type
+                _check(
+                    isinstance(a_type, VectorType),
+                    f"{function.name}/{block.name}: shufflevector on "
+                    f"non-vector {a_type}",
+                )
+                limit = a_type.count + inst.b.type.count
+                _check(
+                    all(0 <= m < limit for m in inst.mask),
+                    f"{function.name}/{block.name}: shuffle mask "
+                    f"{list(inst.mask)} out of range for {limit} source "
+                    f"lanes",
                 )
 
 

@@ -1,10 +1,12 @@
 """Benchmark kernels: motivating examples and SPEC-like workloads."""
 
 from .suite import Kernel, all_kernels, kernel_named, kernels_by_origin, register_kernel, table1_rows
+from .seeding import SeededSpec, derive_seed
 from .generator import GeneratorSpec, generate_inputs, generate_kernel, sweep_specs
 
 __all__ = [
     "Kernel", "all_kernels", "kernel_named", "kernels_by_origin",
     "register_kernel", "table1_rows",
+    "SeededSpec", "derive_seed",
     "GeneratorSpec", "generate_kernel", "generate_inputs", "sweep_specs",
 ]

@@ -16,8 +16,6 @@ harness).
 
 from __future__ import annotations
 
-import random
-import string
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -26,6 +24,7 @@ from ..ir.function import Function
 from ..ir.module import Module
 from ..ir.types import F64, I64, VOID
 from ..ir.values import Value
+from .seeding import SeededSpec
 from .util import make_loop_kernel, finish_module
 
 #: array names available to generated kernels (output array is "OUT")
@@ -34,7 +33,7 @@ _BUFFER_LEN = 2048
 
 
 @dataclass(frozen=True)
-class GeneratorSpec:
+class GeneratorSpec(SeededSpec):
     """Shape parameters for one generated kernel.
 
     ``terms`` is the number of leaves per lane (the Super-Node has
@@ -43,13 +42,16 @@ class GeneratorSpec:
     ``shuffle_lanes`` randomizes each lane's term order and tree shape —
     with it off, every lane is the same expression and plain SLP suffices;
     with it on, the kernel needs Super-Node reordering.
+
+    Seeding (the ``seed`` field and all RNG streams) comes from
+    :class:`~repro.kernels.seeding.SeededSpec`, shared with the fuzzing
+    generator so both stay deterministic under one discipline.
     """
 
     lanes: int = 2
     terms: int = 3
     minus_terms: int = 1
     shuffle_lanes: bool = True
-    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.lanes < 2:
@@ -66,7 +68,7 @@ class GeneratorSpec:
 
 def generate_kernel(spec: GeneratorSpec) -> Module:
     """Build the module for ``spec`` (function name: ``kernel``)."""
-    rng = random.Random(spec.seed)
+    rng = spec.rng()
     module = Module(f"gen_l{spec.lanes}_t{spec.terms}_s{spec.seed}")
     arrays = _ARRAY_POOL[: spec.terms]
     module.add_global("OUT", F64, _BUFFER_LEN)
@@ -103,7 +105,7 @@ def generate_inputs(
     spec: GeneratorSpec, seed: int = 1
 ) -> Dict[str, List[float]]:
     """Deterministic input buffers for a generated kernel."""
-    rng = random.Random(seed ^ spec.seed)
+    rng = spec.input_rng(seed)
     return {
         name: [rng.uniform(-4.0, 4.0) for _ in range(_BUFFER_LEN)]
         for name in _ARRAY_POOL[: spec.terms]

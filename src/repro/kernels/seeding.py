@@ -1,0 +1,59 @@
+"""Shared RNG discipline for every seeded program generator.
+
+Both the benchmark workload generator (:mod:`repro.kernels.generator`) and
+the fuzzing generator (:mod:`repro.fuzz.genprog`) must be *deterministic
+functions of their spec*: the same spec yields byte-identical modules on
+every run, machine and Python version.  That only holds when all
+randomness flows from explicitly derived :class:`random.Random` streams —
+never from global ``random`` state, ``hash()`` (salted per process) or
+wall-clock time.
+
+:class:`SeededSpec` is the one place that discipline lives.  Specs inherit
+from it and draw streams with :meth:`rng`; independent streams for
+sub-purposes (input data, per-lane shuffles...) are derived with a string
+label so adding a new consumer never perturbs existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+
+def derive_seed(seed: int, label: str) -> int:
+    """A stable 64-bit sub-seed for ``(seed, label)``.
+
+    Uses SHA-256 rather than ``hash()``: Python salts string hashes per
+    process, which would silently break cross-run determinism.
+    """
+    digest = hashlib.sha256(f"{label}:{seed}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass(frozen=True)
+class SeededSpec:
+    """Base class for generator specs: one ``seed`` knob, derived streams.
+
+    ``rng()`` with no label reproduces the historical
+    ``random.Random(spec.seed)`` stream, so existing generators keep their
+    exact output shapes; labelled streams are independent of it and of
+    each other.
+    """
+
+    seed: int = 0
+
+    def rng(self, label: str = "") -> random.Random:
+        """A fresh deterministic stream for this spec (and ``label``)."""
+        if not label:
+            return random.Random(self.seed)
+        return random.Random(derive_seed(self.seed, f"{type(self).__name__}/{label}"))
+
+    def derive(self, label: str) -> int:
+        """A stable sub-seed, for handing to another seeded component."""
+        return derive_seed(self.seed, f"{type(self).__name__}/{label}")
+
+    def input_rng(self, input_seed: int) -> random.Random:
+        """The stream for input *data* (kept separate from shape choices
+        so reseeding inputs never changes the generated program)."""
+        return random.Random(input_seed ^ self.seed)
