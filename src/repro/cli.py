@@ -4,18 +4,38 @@ Compiles kernel-language source files, optionally vectorizing, printing
 IR, executing on the simulator and comparing configurations::
 
     python -m repro compile kernel.sn --config sn-slp --emit-ir
+    python -m repro compile kernel.sn --guard --phase-budget 2.0
     python -m repro run kernel.sn --kernel fig3 --n 512
     python -m repro compare kernel.sn --kernel fig3 --n 512
     python -m repro report kernel.sn --config sn-slp
     python -m repro fuzz --budget 30s --seed 0 --out fuzz-artifacts
     python -m repro fuzz --replay fuzz-artifacts/failure-0000/reduced.ir
+    python -m repro fuzz --inject --budget 15s
+    python -m repro bisect failure-0000/reduced.ir --config sn-slp
 
-``compile`` prints the (vectorized) IR; ``run`` executes one kernel and
-dumps the output buffers; ``compare`` runs every configuration on the same
-random inputs and reports speedups + correctness; ``report`` shows the SLP
-graphs the vectorizer built; ``fuzz`` runs a differential-testing
-campaign (or replays a saved reproducer).  Global buffers are seeded
-deterministically from ``--seed``.
+``compile`` prints the (vectorized) IR — with ``--guard`` it goes
+through the fault-isolating driver that degrades instead of crashing;
+``run`` executes one kernel and dumps the output buffers; ``compare``
+runs every configuration on the same random inputs and reports speedups
++ correctness; ``report`` shows the SLP graphs the vectorizer built;
+``fuzz`` runs a differential-testing campaign (or replays a saved
+reproducer, or — with ``--inject`` — injects deterministic faults and
+checks they cannot escape the guard); ``bisect`` localizes the first
+faulty vectorization decision in a failing module.  Global buffers are
+seeded deterministically from ``--seed``.
+
+Exit codes are distinct per failure class so scripts and CI can branch:
+
+==== ==============================================================
+code meaning
+==== ==============================================================
+0    success
+2    usage error (bad flag, unknown config/target/kernel, bad file)
+3    IR verifier failure
+4    internal error (compiler crash)
+5    execution budget exceeded (interpreter watchdog)
+6    comparison mismatch (``compare`` divergence or fuzz findings)
+==== ==============================================================
 """
 
 from __future__ import annotations
@@ -26,11 +46,42 @@ import sys
 from typing import Dict, List, Optional, Sequence
 
 from .frontend import compile_source
+from .frontend.errors import FrontendError
+from .interp import BudgetExceededError
 from .ir import FloatType, Module, print_module
+from .ir.parser import ParseError
+from .ir.verifier import VerificationError
 from .machine import DEFAULT_TARGET, target_named
 from .observe import REMARKS, STATS, TRACER
 from .sim import simulate
 from .vectorizer import ALL_CONFIGS, compile_module, config_named
+
+EXIT_OK = 0
+EXIT_USAGE = 2
+EXIT_VERIFIER = 3
+EXIT_CRASH = 4
+EXIT_BUDGET = 5
+EXIT_MISMATCH = 6
+
+
+def _usage(message: str) -> None:
+    """Report a user-input error and exit with the usage code."""
+    print(f"repro: error: {message}", file=sys.stderr)
+    raise SystemExit(EXIT_USAGE)
+
+
+def _resolve_config(name: str):
+    try:
+        return config_named(name)
+    except KeyError as exc:
+        _usage(str(exc.args[0]) if exc.args else str(exc))
+
+
+def _resolve_target(name: str):
+    try:
+        return target_named(name)
+    except KeyError as exc:
+        _usage(str(exc.args[0]) if exc.args else str(exc))
 
 
 def _configure_observability(args: argparse.Namespace) -> None:
@@ -81,8 +132,11 @@ def _load_module(path: str) -> Module:
     import os
     import re
 
-    with open(path) as handle:
-        source = handle.read()
+    try:
+        with open(path) as handle:
+            source = handle.read()
+    except OSError as exc:
+        _usage(f"cannot read {path}: {exc.strerror or exc}")
     if path.endswith(".ir"):
         from .ir import parse_module, verify_module
 
@@ -100,13 +154,14 @@ def _load_module(path: str) -> Module:
 
 def _pick_kernel(module: Module, name: Optional[str]) -> str:
     if name is not None:
-        module.function(name)  # raises KeyError with a useful message
+        try:
+            module.function(name)
+        except KeyError as exc:
+            _usage(str(exc.args[0]) if exc.args else str(exc))
         return name
     names = list(module.functions)
     if len(names) != 1:
-        raise SystemExit(
-            f"module defines kernels {names}; pick one with --kernel"
-        )
+        _usage(f"module defines kernels {names}; pick one with --kernel")
     return names[0]
 
 
@@ -134,11 +189,36 @@ def _values_close(a, b, is_float: bool) -> bool:
 
 def cmd_compile(args: argparse.Namespace) -> int:
     module = _load_module(args.source)
-    config = config_named(args.config)
-    target = target_named(args.target)
-    result = compile_module(module, config, target, unroll_factor=args.unroll)
+    config = _resolve_config(args.config)
+    target = _resolve_target(args.target)
+    if args.guard:
+        from .robust.guard import guarded_compile
+
+        ladder = None
+        if args.ladder:
+            ladder = [name.strip() for name in args.ladder.split(",") if name.strip()]
+            if not ladder:
+                _usage(f"empty --ladder {args.ladder!r}")
+            for name in ladder:
+                _resolve_config(name)  # usage-exits on unknown rungs
+        outcome = guarded_compile(
+            module,
+            config,
+            target,
+            unroll_factor=args.unroll,
+            ladder=ladder,
+            phase_budget_seconds=args.phase_budget,
+            bundle_dir=args.bundle_dir,
+        )
+        result = outcome.result
+        for line in outcome.summary().splitlines():
+            print(f"; {line}", file=sys.stderr)
+        label = outcome.config_used
+    else:
+        result = compile_module(module, config, target, unroll_factor=args.unroll)
+        label = config.name
     print(
-        f"; compiled {args.source} with {config.name} for {target.name} "
+        f"; compiled {args.source} with {label} for {target.name} "
         f"in {result.compile_seconds * 1000:.2f} ms",
         file=sys.stderr,
     )
@@ -149,22 +229,29 @@ def cmd_compile(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     if args.verbose:
-        _print_phase_times(result, config.name)
+        _print_phase_times(result, label)
     if args.emit_ir:
         print(print_module(result.module), end="")
-    return 0
+    return EXIT_OK
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     module = _load_module(args.source)
     kernel = _pick_kernel(module, args.kernel)
-    config = config_named(args.config)
-    target = target_named(args.target)
+    config = _resolve_config(args.config)
+    target = _resolve_target(args.target)
     compiled = compile_module(module, config, target, unroll_factor=args.unroll)
     if args.verbose:
         _print_phase_times(compiled, config.name)
     inputs = _seed_inputs(module, args.seed)
-    result = simulate(compiled.module, kernel, target, [args.n], inputs=inputs)
+    result = simulate(
+        compiled.module,
+        kernel,
+        target,
+        [args.n],
+        inputs=inputs,
+        max_steps=args.max_steps,
+    )
     print(f"config:       {config.name}")
     print(f"cycles:       {result.cycles:.1f}")
     print(f"instructions: {result.instructions}")
@@ -182,10 +269,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
     module = _load_module(args.source)
     kernel = _pick_kernel(module, args.kernel)
-    target = target_named(args.target)
+    target = _resolve_target(args.target)
     inputs = _seed_inputs(module, args.seed)
     baseline = None
-    exit_code = 0
+    exit_code = EXIT_OK
     rows: List[Dict] = []
     if not args.json:
         print(f"{'config':8s} {'cycles':>12s} {'speedup':>8s} {'vectorized':>11s} {'correct':>8s}")
@@ -207,7 +294,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
                     correct = False
                     break
         if not correct:
-            exit_code = 1
+            exit_code = EXIT_MISMATCH
         rows.append(
             {
                 "config": config.name,
@@ -252,8 +339,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_report(args: argparse.Namespace) -> int:
     module = _load_module(args.source)
-    config = config_named(args.config)
-    target = target_named(args.target)
+    config = _resolve_config(args.config)
+    target = _resolve_target(args.target)
     compiled = compile_module(module, config, target, unroll_factor=args.unroll)
     print(compiled.report.summary())
     missed = compiled.report.missed_reasons()
@@ -290,11 +377,30 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
-    from .fuzz import run_campaign, replay_file
+    from .fuzz import run_campaign, run_injection_campaign, replay_file
     from .fuzz.campaign import FUZZ_STATS
     from .fuzz.oracle import failure_signature
 
-    target = target_named(args.target)
+    target = _resolve_target(args.target)
+
+    if args.inject:
+        result = run_injection_campaign(
+            budget=args.budget,
+            seed=args.seed,
+            target=target,
+            input_seed=args.input_seed,
+            max_ulps=args.max_ulps,
+            phase_budget_seconds=args.phase_budget,
+            progress=lambda line: print(f"; {line}", file=sys.stderr),
+        )
+        print(result.summary())
+        if args.stats:
+            print(
+                FUZZ_STATS.report(title="Injection Campaign Statistics"),
+                file=sys.stderr,
+            )
+            args._stats_printed = True
+        return EXIT_OK if result.ok else EXIT_MISMATCH
 
     if args.replay:
         report = replay_file(
@@ -311,7 +417,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             print(line)
         if report.reference_trapped:
             print("  reference run trapped: the reproducer is input-sensitive")
-        return 0 if report.ok else 1
+        return EXIT_OK if report.ok else EXIT_MISMATCH
 
     result = run_campaign(
         budget=args.budget,
@@ -338,7 +444,38 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                 f"{failure.reduction.instructions_after} instruction(s)",
                 file=sys.stderr,
             )
-    return 0 if result.ok else 1
+    return EXIT_OK if result.ok else EXIT_MISMATCH
+
+
+def cmd_bisect(args: argparse.Namespace) -> int:
+    from .robust.bisect import run_bisect
+
+    module = _load_module(args.source)
+    config = _resolve_config(args.config)
+    target = _resolve_target(args.target)
+    kernel = _pick_kernel(module, args.kernel)
+    fn_args = None
+    if args.n is not None:
+        fn_args = tuple(args.n for _ in module.function(kernel).arguments)
+    try:
+        result = run_bisect(
+            module,
+            config,
+            target,
+            unroll_factor=args.unroll,
+            kernel=kernel,
+            args=fn_args,
+            input_seed=args.input_seed,
+            max_ulps=args.max_ulps,
+        )
+    except ValueError as exc:  # e.g. the reference run traps
+        _usage(str(exc))
+    print(result.summary())
+    if args.decisions:
+        for index, description in enumerate(result.decisions, start=1):
+            marker = " <-- first bad" if index == result.first_bad else ""
+            print(f"  #{index:3d} {description}{marker}")
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -393,6 +530,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile = sub.add_parser("compile", help="compile and optionally print IR")
     common(p_compile)
     p_compile.add_argument("--emit-ir", action="store_true", help="print textual IR")
+    p_compile.add_argument(
+        "--guard",
+        action="store_true",
+        help="compile through the guarded driver: checkpoint every phase, "
+        "roll back failures, degrade down the config ladder",
+    )
+    p_compile.add_argument(
+        "--ladder",
+        metavar="C1,C2,...",
+        help="degradation ladder for --guard (default: SN-SLP,LSLP,SLP,O3)",
+    )
+    p_compile.add_argument(
+        "--phase-budget",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget per pipeline phase under --guard",
+    )
+    p_compile.add_argument(
+        "--bundle-dir",
+        metavar="DIR",
+        help="write a reduced failure-NNNN crash bundle under DIR when a "
+        "guarded compile captures a crash",
+    )
     p_compile.set_defaults(fn=cmd_compile)
 
     p_run = sub.add_parser("run", help="compile and execute one kernel")
@@ -401,6 +561,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--n", type=int, default=64, help="trip-count argument")
     p_run.add_argument("--seed", type=int, default=0, help="input seed")
     p_run.add_argument("--show", type=int, default=8, help="buffer elements to print")
+    p_run.add_argument(
+        "--max-steps",
+        type=int,
+        metavar="N",
+        help="interpreter watchdog: abort after N executed instructions "
+        f"(exit code {EXIT_BUDGET})",
+    )
     p_run.set_defaults(fn=cmd_run)
 
     p_compare = sub.add_parser(
@@ -465,7 +632,49 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the campaign bucket counter table on stderr",
     )
+    p_fuzz.add_argument(
+        "--inject",
+        action="store_true",
+        help="fault-injection campaign: arm every registered (site, mode) "
+        "in turn and verify the guarded driver absorbs each fault",
+    )
+    p_fuzz.add_argument(
+        "--phase-budget",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="per-phase wall-clock budget for --inject guarded compiles",
+    )
     p_fuzz.set_defaults(fn=cmd_fuzz)
+
+    p_bisect = sub.add_parser(
+        "bisect",
+        help="binary-search the first faulty vectorization decision "
+        "(-opt-bisect-limit)",
+    )
+    common(p_bisect)
+    p_bisect.add_argument("--kernel", help="kernel name (default: the only one)")
+    p_bisect.add_argument(
+        "--n",
+        type=int,
+        default=None,
+        help="value for every kernel argument (default: 0, the fuzz convention)",
+    )
+    p_bisect.add_argument(
+        "--input-seed", type=int, default=1, help="seed for buffer contents"
+    )
+    p_bisect.add_argument(
+        "--max-ulps",
+        type=int,
+        default=4096,
+        help="float comparison tolerance in ULPs",
+    )
+    p_bisect.add_argument(
+        "--decisions",
+        action="store_true",
+        help="list every gated decision, marking the first bad one",
+    )
+    p_bisect.set_defaults(fn=cmd_bisect)
     return parser
 
 
@@ -475,6 +684,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     _configure_observability(args)
     try:
         return args.fn(args)
+    except SystemExit as exc:
+        # _usage() raises SystemExit(EXIT_USAGE); surface it as a return
+        # value so callers (and tests) see the code without unwinding
+        code = exc.code
+        if code is None:
+            return EXIT_OK
+        if isinstance(code, int):
+            return code
+        print(f"repro: {code}", file=sys.stderr)
+        return EXIT_USAGE
+    except VerificationError as exc:
+        print(f"repro: IR verifier failure: {exc}", file=sys.stderr)
+        return EXIT_VERIFIER
+    except (FrontendError, ParseError) as exc:
+        # malformed user input (source or textual IR), not a compiler bug
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except BudgetExceededError as exc:
+        print(f"repro: execution budget exceeded: {exc}", file=sys.stderr)
+        return EXIT_BUDGET
+    except Exception as exc:  # noqa: BLE001 - last-resort crash mapping
+        import traceback
+
+        traceback.print_exc(file=sys.stderr)
+        print(
+            f"repro: internal error: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        return EXIT_CRASH
     finally:
         _flush_observability(args)
 

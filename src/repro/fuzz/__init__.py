@@ -28,9 +28,13 @@ from .reduce import count_instructions, reduce_module, write_reproducer
 from .campaign import (
     CampaignResult,
     FailureArtifact,
+    InjectionOutcome,
+    InjectionResult,
+    injection_combos,
     parse_budget,
     replay_file,
     run_campaign,
+    run_injection_campaign,
 )
 
 __all__ = [
@@ -52,7 +56,11 @@ __all__ = [
     "write_reproducer",
     "CampaignResult",
     "FailureArtifact",
+    "InjectionOutcome",
+    "InjectionResult",
+    "injection_combos",
     "parse_budget",
     "replay_file",
     "run_campaign",
+    "run_injection_campaign",
 ]

@@ -21,6 +21,14 @@ Failures become artifact directories::
         remarks.jsonl   optimization remarks for the failing config
 
 Replay a saved reproducer with ``repro fuzz --replay failure-0000/reduced.ir``.
+
+``repro fuzz --inject`` runs the *injection* campaign instead: every
+generated program is compiled through :func:`repro.robust.guard.
+guarded_compile` with one deterministic fault armed (cycling through
+every (site, mode) combination the registry declares), and the guarded
+result must still match the scalar reference.  A fault that produces a
+wrong answer **escaped** the guard; one that kills the driver is
+**fatal** — either fails the campaign.
 """
 
 from __future__ import annotations
@@ -32,19 +40,26 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..interp import BudgetExceededError, TrapError
 from ..ir.module import Module
 from ..ir.parser import parse_module
+from ..ir.types import FloatType
 from ..ir.verifier import verify_module
 from ..kernels.seeding import derive_seed
 from ..machine.targets import DEFAULT_TARGET, TargetMachine
 from ..observe import REMARKS, StatsRegistry
+from ..robust.faults import COMPILE_SITES, FAULT_SITES, FAULTS
+from ..sim import simulate
 from ..vectorizer import ALL_CONFIGS, SLPConfig, compile_module
-from .genprog import FuzzProgram, generate_program, random_spec
+from ..vectorizer.slp import SNSLP_CONFIG
+from .genprog import FuzzProgram, generate_program, make_inputs, random_spec
 from .oracle import (
     DEFAULT_MAX_ULPS,
     OracleReport,
+    _interpret_reference,
     failure_signature,
     run_oracle,
+    values_close,
 )
 from .reduce import ReductionResult, count_instructions, reduce_module, write_reproducer
 
@@ -63,6 +78,22 @@ _VERIFIER = FUZZ_STATS.stat(
 )
 _GAPS = FUZZ_STATS.stat("fuzz.interp-gaps", "interpreter gaps (unsupported opcodes)")
 _CRASHES = FUZZ_STATS.stat("fuzz.crashes", "compiler crashes")
+_BUDGET_BLOWS = FUZZ_STATS.stat(
+    "fuzz.budget-exceeded", "compiled modules that blew the step watchdog"
+)
+_INJECTIONS = FUZZ_STATS.stat("fuzz.injections", "deterministic faults armed")
+_INJ_RECOVERED = FUZZ_STATS.stat(
+    "fuzz.injected-recovered", "injected faults the guarded driver recovered from"
+)
+_INJ_UNREACHED = FUZZ_STATS.stat(
+    "fuzz.injected-unreached", "armed faults whose site the compile never reached"
+)
+_INJ_ESCAPED = FUZZ_STATS.stat(
+    "fuzz.injected-escaped", "injected faults that corrupted the guarded output"
+)
+_INJ_FATAL = FUZZ_STATS.stat(
+    "fuzz.injected-fatal", "injected faults that killed the guarded driver"
+)
 
 
 def parse_budget(text: str) -> Tuple[str, float]:
@@ -140,6 +171,8 @@ def _bucket(report: OracleReport) -> None:
         _GAPS.add()
     if "crash" in statuses:
         _CRASHES.add()
+    if "budget" in statuses:
+        _BUDGET_BLOWS.add()
 
 
 def _reduction_predicate(
@@ -310,6 +343,224 @@ def run_campaign(
         elapsed_seconds=time.perf_counter() - started,
         stats=FUZZ_STATS.snapshot(),
         failures=failures,
+    )
+
+
+def injection_combos() -> List[Tuple[str, str]]:
+    """Every (site, mode) combination reachable from ``compile_module``,
+    in registry order — the deterministic cycle the campaign walks."""
+    return [
+        (name, mode)
+        for name in COMPILE_SITES
+        for mode in FAULT_SITES[name].modes
+    ]
+
+
+@dataclass
+class InjectionOutcome:
+    """The verdict for one (program, site, mode) injection."""
+
+    index: int
+    site: str
+    mode: str
+    status: str  # recovered | unreached | escaped | fatal
+    detail: str = ""
+    recoveries: int = 0
+    config_used: str = ""
+
+
+@dataclass
+class InjectionResult:
+    """Everything one injection campaign produced."""
+
+    programs: int
+    elapsed_seconds: float
+    stats: Dict[str, float]
+    outcomes: List[InjectionOutcome] = field(default_factory=list)
+
+    @property
+    def escapes(self) -> List[InjectionOutcome]:
+        return [o for o in self.outcomes if o.status in ("escaped", "fatal")]
+
+    @property
+    def ok(self) -> bool:
+        return not self.escapes
+
+    def summary(self) -> str:
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        lines = [
+            f"injection campaign: {self.programs} program(s) in "
+            f"{self.elapsed_seconds:.1f}s, {len(self.escapes)} escape(s)"
+        ]
+        for status in ("recovered", "unreached", "escaped", "fatal"):
+            if status in counts:
+                lines.append(f"  {status:10s} {counts[status]}")
+        for outcome in self.escapes:
+            lines.append(
+                f"  escape #{outcome.index}: {outcome.site}:{outcome.mode} "
+                f"[{outcome.status}] {outcome.detail}"
+            )
+        return "\n".join(lines)
+
+
+def _compare_guarded(
+    guarded,
+    program: FuzzProgram,
+    target: TargetMachine,
+    inputs: Dict[str, List],
+    reference: Dict[str, List],
+    max_ulps: int,
+) -> Optional[str]:
+    """Run the guarded module and diff it against the scalar reference;
+    returns a human-readable divergence, or None when equivalent."""
+    try:
+        result = simulate(
+            guarded.result.module,
+            program.kernel,
+            target,
+            program.args,
+            inputs=inputs,
+        )
+    except Exception as exc:  # noqa: BLE001 - any run failure is an escape
+        return f"guarded module failed to run: {type(exc).__name__}: {exc}"
+    for name in program.module.globals:
+        is_float = isinstance(program.module.globals[name].element, FloatType)
+        got = result.globals_after[name]
+        for index, (want, have) in enumerate(zip(reference[name], got)):
+            if not values_close(have, want, is_float, max_ulps=max_ulps):
+                return f"@{name}[{index}]: reference {want!r} vs guarded {have!r}"
+    return None
+
+
+def _inject_one(
+    program: FuzzProgram,
+    site: str,
+    mode: str,
+    target: TargetMachine,
+    inputs: Dict[str, List],
+    reference: Dict[str, List],
+    max_ulps: int,
+    phase_budget_seconds: float,
+    index: int,
+) -> InjectionOutcome:
+    """Arm one fault, compile through the guarded driver, and classify."""
+    from ..robust.guard import guarded_compile
+
+    _INJECTIONS.add()
+    plan = FAULTS.arm(site, mode, once=True)
+    guarded = None
+    fatal_detail = ""
+    try:
+        guarded = guarded_compile(
+            program.module,
+            SNSLP_CONFIG,
+            target,
+            phase_budget_seconds=phase_budget_seconds,
+        )
+    except Exception as exc:  # noqa: BLE001 - the guard must never raise
+        fatal_detail = f"{type(exc).__name__}: {exc}"
+    finally:
+        fired = plan.fired
+        FAULTS.disarm_all()
+
+    if guarded is None:
+        _INJ_FATAL.add()
+        return InjectionOutcome(index, site, mode, "fatal", fatal_detail)
+    if fired == 0:
+        # The compile never visited the site (e.g. nothing was profitable
+        # to vectorize); nothing to recover from, nothing to check.
+        _INJ_UNREACHED.add()
+        return InjectionOutcome(
+            index, site, mode, "unreached",
+            recoveries=len(guarded.recoveries),
+            config_used=guarded.config_used,
+        )
+    divergence = _compare_guarded(
+        guarded, program, target, inputs, reference, max_ulps
+    )
+    if divergence is None and not guarded.recoveries:
+        # Output is fine but the guard never noticed the fault firing —
+        # a detection gap (e.g. a stall that slipped under the budget).
+        divergence = "fault fired but no recovery was recorded"
+    if divergence is not None:
+        _INJ_ESCAPED.add()
+        return InjectionOutcome(
+            index, site, mode, "escaped", divergence,
+            recoveries=len(guarded.recoveries),
+            config_used=guarded.config_used,
+        )
+    _INJ_RECOVERED.add()
+    return InjectionOutcome(
+        index, site, mode, "recovered",
+        recoveries=len(guarded.recoveries),
+        config_used=guarded.config_used,
+    )
+
+
+def run_injection_campaign(
+    budget: str = "15s",
+    seed: int = 0,
+    target: TargetMachine = DEFAULT_TARGET,
+    input_seed: int = 1,
+    max_ulps: int = DEFAULT_MAX_ULPS,
+    phase_budget_seconds: float = 0.2,
+    progress: Optional[Callable[[str], None]] = None,
+) -> InjectionResult:
+    """Fault-injection campaign: prove the guarded driver absorbs every
+    registered compile-time fault without corrupting results.
+
+    Program ``index`` arms combination ``index % len(combos)``, so a
+    count budget of ``len(injection_combos())`` (currently 8) covers
+    every (site, mode) pair exactly once per cycle.
+    """
+    kind, amount = parse_budget(budget)
+    FUZZ_STATS.reset()
+    combos = injection_combos()
+    outcomes: List[InjectionOutcome] = []
+    started = time.perf_counter()
+    index = 0
+    while True:
+        if kind == "count" and index >= amount:
+            break
+        if kind == "time" and time.perf_counter() - started >= amount:
+            break
+        spec = random_spec(derive_seed(seed, f"inject-program/{index}"))
+        program = generate_program(spec)
+        site, mode = combos[index % len(combos)]
+        index += 1
+        _PROGRAMS.add()
+        inputs = make_inputs(program.module, input_seed)
+        FAULTS.disarm_all()  # the reference must run clean
+        try:
+            reference = _interpret_reference(
+                program.module, program.kernel, program.args, inputs
+            )
+        except (TrapError, BudgetExceededError):
+            _TRAPS.add()
+            continue
+        outcome = _inject_one(
+            program,
+            site,
+            mode,
+            target,
+            inputs,
+            reference,
+            max_ulps,
+            phase_budget_seconds,
+            index - 1,
+        )
+        outcomes.append(outcome)
+        if progress is not None and outcome.status in ("escaped", "fatal"):
+            progress(
+                f"escape #{outcome.index} ({site}:{mode}): {outcome.detail}"
+            )
+    return InjectionResult(
+        programs=index,
+        elapsed_seconds=time.perf_counter() - started,
+        stats=FUZZ_STATS.snapshot(),
+        outcomes=outcomes,
     )
 
 

@@ -22,6 +22,7 @@ trap        the *reference* run trapped (program rejected, not a bug)
 verifier    the compiled module failed IR verification
 interp-gap  the interpreter lacks support for an emitted opcode
 crash       the compiler raised while compiling the module
+budget      the compiled module blew the step watchdog (runaway loop)
 ========== =========================================================
 
 The fast-math pipeline may legitimately reassociate float chains, so
@@ -37,7 +38,12 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..interp import Interpreter, TrapError, UnsupportedOpcodeError
+from ..interp import (
+    BudgetExceededError,
+    Interpreter,
+    TrapError,
+    UnsupportedOpcodeError,
+)
 from ..ir.module import Module
 from ..ir.types import FloatType
 from ..ir.verifier import VerificationError
@@ -181,6 +187,14 @@ def run_oracle(
             ConfigOutcome("reference", "trap", detail=str(exc))
         )
         return report
+    except BudgetExceededError as exc:
+        # The scalar program outruns the watchdog: reject it like a trap
+        # (the generator produced a runaway, not the compiler).
+        report.reference_trapped = True
+        report.outcomes.append(
+            ConfigOutcome("reference", "budget", detail=str(exc))
+        )
+        return report
 
     for config in configs:
         report.outcomes.append(
@@ -221,6 +235,15 @@ def _check_config(
     except UnsupportedOpcodeError as exc:
         return ConfigOutcome(
             config.name, "interp-gap", detail=str(exc), vectorized_graphs=vectorized
+        )
+    except BudgetExceededError as exc:
+        # The reference finished within budget, so a compiled module that
+        # does not is a semantics change (e.g. a mangled loop latch).
+        return ConfigOutcome(
+            config.name,
+            "budget",
+            detail=str(exc),
+            vectorized_graphs=vectorized,
         )
     except TrapError as exc:
         # The reference did not trap, so a trapping compiled module is a

@@ -2,6 +2,7 @@
 
 from .memory import Memory, MemoryError_
 from .interpreter import (
+    BudgetExceededError,
     Interpreter,
     InterpreterError,
     TrapError,
@@ -12,6 +13,7 @@ from .interpreter import (
 __all__ = [
     "Memory",
     "MemoryError_",
+    "BudgetExceededError",
     "Interpreter",
     "InterpreterError",
     "TrapError",

@@ -42,6 +42,7 @@ from ..ir.folding import compare, fold_binary, fold_cast
 from ..ir.module import Module
 from ..ir.types import IntType, PointerType, Type, VectorType
 from ..ir.values import Argument, Constant, GlobalBuffer, Value
+from ..robust.faults import FAULTS
 from .memory import Memory
 
 
@@ -60,6 +61,16 @@ class UnsupportedOpcodeError(InterpreterError):
     The differential oracle (:mod:`repro.fuzz.oracle`) relies on this
     distinction: a gap means "extend the interpreter", while any other
     divergence between scalar and vectorized runs means "miscompile".
+    """
+
+
+class BudgetExceededError(InterpreterError):
+    """Raised when execution exhausts its step budget — the watchdog that
+    keeps a malformed loop from hanging the oracle or CI.
+
+    A sibling of :class:`UnsupportedOpcodeError`: typed so callers (the
+    fuzzing oracle, the CLI's exit-code mapping) can tell "the program
+    ran too long" apart from genuine interpreter faults.
     """
 
 
@@ -88,10 +99,15 @@ class Interpreter:
         memory: Optional[Memory] = None,
         instruction_budget: int = 50_000_000,
         on_execute: Optional[Callable[[Instruction], None]] = None,
+        max_steps: Optional[int] = None,
     ) -> None:
         self.module = module
         self.memory = memory if memory is not None else Memory()
-        self.instruction_budget = instruction_budget
+        #: ``max_steps`` is the watchdog knob; ``instruction_budget`` is
+        #: the historical name for the same limit and acts as the default
+        self.instruction_budget = (
+            max_steps if max_steps is not None else instruction_budget
+        )
         self.on_execute = on_execute
         self.executed_instructions = 0
         for buffer in module.globals.values():
@@ -177,10 +193,20 @@ class Interpreter:
 
     def _tick(self, inst: Instruction) -> None:
         self.executed_instructions += 1
+        if FAULTS.armed:
+            FAULTS.fire("interp.step", stall=self._stall)
         if self.executed_instructions > self.instruction_budget:
-            raise InterpreterError("instruction budget exhausted (likely an infinite loop)")
+            raise BudgetExceededError(
+                f"step budget exhausted after {self.instruction_budget} "
+                "instructions (likely an infinite loop)"
+            )
         if self.on_execute is not None:
             self.on_execute(inst)
+
+    def _stall(self) -> None:
+        """Injected stall: burn the remaining step budget so the watchdog
+        fires deterministically (no wall-clock dependence)."""
+        self.executed_instructions = self.instruction_budget + 1
 
     # -- single instruction dispatch ---------------------------------------------------
 

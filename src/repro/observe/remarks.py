@@ -8,7 +8,10 @@ Every vectorization decision point emits a :class:`Remark`:
 * ``missed``   — a transformation was attempted and rejected, with the
   reason (cost, unschedulable seed, gathers, ...);
 * ``analysis`` — supporting facts that explain a decision (partial
-  gathers inside a *vectorized* graph, Super-Node shapes, ...).
+  gathers inside a *vectorized* graph, Super-Node shapes, ...);
+* ``recovery`` — the guarded driver rolled back a failing phase and
+  degraded (skipped the phase or descended the config ladder) instead of
+  aborting the compile; ``args`` carries phase/config/kind/action.
 
 Each remark carries the pass name, function, block and seed kind plus a
 free-form ``args`` dict, and the collection serializes to JSONL (one
@@ -25,9 +28,9 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-#: the three remark kinds, mirroring clang's -Rpass / -Rpass-missed /
-#: -Rpass-analysis triple
-REMARK_KINDS = ("passed", "missed", "analysis")
+#: the remark kinds: clang's -Rpass / -Rpass-missed / -Rpass-analysis
+#: triple, plus "recovery" for the guarded driver's rollback records
+REMARK_KINDS = ("passed", "missed", "analysis", "recovery")
 
 
 @dataclass
@@ -114,6 +117,9 @@ class RemarkCollector:
 
     def analysis(self, pass_name: str, message: str, **kw: object) -> Optional[Remark]:
         return self.emit("analysis", pass_name, message, **kw)  # type: ignore[arg-type]
+
+    def recovery(self, pass_name: str, message: str, **kw: object) -> Optional[Remark]:
+        return self.emit("recovery", pass_name, message, **kw)  # type: ignore[arg-type]
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -132,4 +132,7 @@ def simplify_function(function: Function) -> int:
 
 
 def simplify_module(module: Module) -> int:
+    from ..robust.faults import FAULTS
+
+    FAULTS.fire("simplify.module")
     return sum(simplify_function(f) for f in module.functions.values())

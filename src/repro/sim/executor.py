@@ -91,15 +91,22 @@ def simulate(
     inputs: Optional[Dict[str, Sequence]] = None,
     capture_globals: bool = True,
     memory_size: int = 1 << 20,
+    max_steps: Optional[int] = None,
 ) -> SimulationResult:
     """Execute ``function_name`` and account cycles on ``target``.
 
     ``inputs`` seeds global buffers before the run, which keeps workload
     data out of the IR and identical across compiler configurations.
+    ``max_steps`` caps executed instructions (the watchdog): exceeding it
+    raises :class:`~repro.interp.interpreter.BudgetExceededError` instead
+    of letting a malformed loop hang the harness.
     """
     counter = CycleCounter(target)
     interp = Interpreter(
-        module, memory=Memory(memory_size), on_execute=counter.charge
+        module,
+        memory=Memory(memory_size),
+        on_execute=counter.charge,
+        max_steps=max_steps,
     )
     if inputs:
         for name, values in inputs.items():

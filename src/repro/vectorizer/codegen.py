@@ -24,6 +24,7 @@ from ..ir.instructions import (
 )
 from ..ir.types import VectorType
 from ..ir.values import Constant, Value
+from ..robust.faults import FAULTS
 from .graph import NodeKind, SLPGraph, SLPNode
 
 
@@ -79,6 +80,13 @@ def emit_vector_code(graph: SLPGraph) -> Value:
     for lane in root.lanes:
         assert isinstance(lane, StoreInst)
         lane.erase_from_parent()
+    # Injection point *after* emission: "raise" leaves half-rewritten IR
+    # behind (the hardest rollback case) and "corrupt" produces a block
+    # the post-phase verifier must reject (a missing terminator).
+    FAULTS.fire(
+        "codegen.emit",
+        corrupt=lambda: vec_store.parent.terminator.erase_from_parent(),
+    )
     return vec_store
 
 

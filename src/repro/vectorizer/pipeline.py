@@ -16,7 +16,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..ir.module import Module
 from ..ir.parser import parse_module
@@ -62,6 +62,42 @@ def _phase(name: str, phases: Dict[str, float]) -> Iterator[None]:
             phases[name] = phases.get(name, 0.0) + time.perf_counter() - start
 
 
+#: a transform phase: mutates the module in place; the vectorize phase
+#: returns its VectorizationReport, the others return None
+PhaseFn = Callable[[Module], Optional[VectorizationReport]]
+
+
+def pipeline_phases(
+    config: SLPConfig,
+    target: TargetMachine = DEFAULT_TARGET,
+    unroll_factor: int = 0,
+) -> List[Tuple[str, PhaseFn]]:
+    """The transform phases after clone, as (name, fn) pairs.
+
+    This is the single definition of the pipeline's shape, shared by
+    :func:`compile_module` and the guarded driver
+    (:mod:`repro.robust.guard`), which wraps each phase in a
+    checkpoint/rollback envelope.
+    """
+    from ..passes import simplify_module, unroll_module
+
+    def _simplify(m: Module) -> None:
+        simplify_module(m)
+
+    def _unroll(m: Module) -> None:
+        unroll_module(m, unroll_factor)
+
+    phases: List[Tuple[str, PhaseFn]] = [("simplify", _simplify)]
+    if unroll_factor > 1:
+        phases.append(("unroll", _unroll))
+
+    def _vectorize(m: Module) -> VectorizationReport:
+        return SLPVectorizer(target, config).run_on_module(m)
+
+    phases.append(("vectorize", _vectorize))
+    return phases
+
+
 def compile_module(
     module: Module,
     config: SLPConfig,
@@ -85,24 +121,28 @@ def compile_module(
     sum of the per-phase spans in ``phase_seconds``, which attribute the
     same wall time to clone vs. simplify vs. SLP (Fig 11's protocol).
     """
-    from ..passes import simplify_module, unroll_module
-
     STATS.reset()
     phases: Dict[str, float] = {}
-    with TRACER.span("compile", module=module.name, config=config.name):
-        with _phase("clone", phases):
-            working = clone_module(module)
-        with _phase("simplify", phases):
-            simplify_module(working)
-        if unroll_factor > 1:
-            with _phase("unroll", phases):
-                unroll_module(working, unroll_factor)
-        with _phase("vectorize", phases):
-            vectorizer = SLPVectorizer(target, config)
-            report = vectorizer.run_on_module(working)
-        if verify:
-            with _phase("verify", phases):
-                verify_module(working)
+    report: Optional[VectorizationReport] = None
+    try:
+        with TRACER.span("compile", module=module.name, config=config.name):
+            with _phase("clone", phases):
+                working = clone_module(module)
+            for name, fn in pipeline_phases(config, target, unroll_factor):
+                with _phase(name, phases):
+                    out = fn(working)
+                if name == "vectorize":
+                    report = out
+            if verify:
+                with _phase("verify", phases):
+                    verify_module(working)
+    except BaseException:
+        # A crashing phase must not poison the *next* compilation's
+        # counter snapshot (fuzz campaigns snapshot after simulate, which
+        # would otherwise see this compile's partial counters).
+        STATS.reset()
+        raise
+    assert report is not None  # pipeline_phases always yields vectorize
     return CompilationResult(
         module=working,
         report=report,

@@ -35,6 +35,7 @@ from ..ir.types import VectorType, vector_of
 from ..ir.values import Value
 from ..machine.targets import TargetMachine
 from ..observe import REMARKS, STAT, TRACER
+from ..robust.bisect import BISECT
 from .codegen import emit_vector_code
 from .cost import compute_graph_cost, is_profitable
 from .graph import NodeKind, SLPGraph, SLPNode
@@ -482,6 +483,11 @@ class SLPVectorizer:
                 continue
             if any(store.parent is None for store in seed):
                 continue  # erased by a previous graph's codegen
+            if not BISECT.should_run(
+                f"slp store-graph @{function.name}/{block.name} "
+                f"lanes={len(seed)}"
+            ):
+                continue  # vetoed by -opt-bisect-limit style gating
             with TRACER.span(
                 "slp.graph", function=function.name, block=block.name,
                 lanes=len(seed),
@@ -616,6 +622,11 @@ class SLPVectorizer:
         for candidate in candidates:
             if candidate.root.parent is None:
                 continue  # erased by a previous transformation
+            if not BISECT.should_run(
+                f"reduction @{function.name}/{block.name} "
+                f"leaves={candidate.leaf_count}"
+            ):
+                continue
             with TRACER.span(
                 "slp.reduction", function=function.name, block=block.name,
                 leaves=candidate.leaf_count,
@@ -704,6 +715,11 @@ class SLPVectorizer:
         )
         for candidate in candidates:
             if candidate.root.parent is None:
+                continue
+            if not BISECT.should_run(
+                f"minmax @{function.name}/{block.name} "
+                f"leaves={candidate.leaf_count}"
+            ):
                 continue
             with TRACER.span(
                 "slp.minmax", function=function.name, block=block.name,

@@ -48,13 +48,28 @@ class TestCompile:
         assert out.out == ""
         assert "SLP graphs" in out.err
 
-    def test_unknown_config(self, fig3_file):
-        with pytest.raises(KeyError):
-            main(["compile", fig3_file, "--config", "turbo"])
+    def test_unknown_config_is_usage_error(self, fig3_file, capsys):
+        assert main(["compile", fig3_file, "--config", "turbo"]) == 2
+        assert "unknown vectorizer config" in capsys.readouterr().err
 
-    def test_unknown_target(self, fig3_file):
-        with pytest.raises(KeyError):
-            main(["compile", fig3_file, "--target", "itanium"])
+    def test_unknown_target_is_usage_error(self, fig3_file, capsys):
+        assert main(["compile", fig3_file, "--target", "itanium"]) == 2
+        assert "unknown target" in capsys.readouterr().err
+
+    def test_missing_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["compile", str(tmp_path / "nope.sn")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_guarded_compile_clean(self, fig3_file, capsys):
+        assert main(["compile", fig3_file, "--guard", "--emit-ir"]) == 0
+        out = capsys.readouterr()
+        assert "guarded compile: requested SN-SLP, used SN-SLP" in out.err
+        assert "<2 x i64>" in out.out  # still vectorized on the clean path
+
+    def test_guarded_compile_bad_ladder_is_usage_error(self, fig3_file, capsys):
+        code = main(["compile", fig3_file, "--guard", "--ladder", "SN-SLP,warp9"])
+        assert code == 2
+        assert "unknown vectorizer config" in capsys.readouterr().err
 
 
 class TestRun:
@@ -67,9 +82,16 @@ class TestRun:
     def test_kernel_selection_required_when_ambiguous(self, tmp_path, capsys):
         path = tmp_path / "two.sn"
         path.write_text(TWO_KERNELS)
-        with pytest.raises(SystemExit):
-            main(["run", str(path)])
+        assert main(["run", str(path)]) == 2
+        assert "pick one with --kernel" in capsys.readouterr().err
         assert main(["run", str(path), "--kernel", "one"]) == 0
+
+    def test_unknown_kernel_is_usage_error(self, fig3_file, capsys):
+        assert main(["run", fig3_file, "--kernel", "nope"]) == 2
+
+    def test_max_steps_watchdog_exit_code(self, fig3_file, capsys):
+        assert main(["run", fig3_file, "--n", "64", "--max-steps", "10"]) == 5
+        assert "execution budget exceeded" in capsys.readouterr().err
 
     def test_seed_determinism(self, fig3_file, capsys):
         main(["run", fig3_file, "--seed", "7"])
@@ -137,10 +159,25 @@ class TestTextualIRInput:
         out = capsys.readouterr().out
         assert "cycles:" in out
 
-    def test_malformed_ir_reports_parse_error(self, tmp_path):
-        from repro.ir import ParseError
-
+    def test_malformed_ir_is_usage_error(self, tmp_path, capsys):
         bad = tmp_path / "bad.ir"
         bad.write_text("module m\nfunc @f() -> void {\nentry:\n  bogus\n}\n")
-        with pytest.raises(ParseError):
-            main(["compile", str(bad)])
+        assert main(["compile", str(bad)]) == 2
+        assert capsys.readouterr().err  # the parse diagnostic surfaced
+
+
+class TestBisectCommand:
+    def test_bisect_clean_module(self, fig3_file, capsys):
+        assert main(["bisect", fig3_file, "--n", "64", "--decisions"]) == 0
+        out = capsys.readouterr().out
+        assert "gated decision(s)" in out
+        assert "did not reproduce" in out
+        assert "slp store-graph" in out
+
+
+class TestInjectionSmoke:
+    def test_inject_campaign_via_cli(self, capsys):
+        assert main(["fuzz", "--inject", "--budget", "8", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "injection campaign" in out
+        assert "0 escape(s)" in out
