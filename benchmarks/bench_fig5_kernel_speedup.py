@@ -8,11 +8,11 @@ the largest gains because they are pure vectorizable loops.
 
 from repro.bench import fig5_kernel_speedups, format_rows
 from repro.bench.ascii import render_figure
-from conftest import emit
+from conftest import bench_jobs, emit
 
 
 def test_fig5_kernel_speedups(once):
-    rows = once(fig5_kernel_speedups)
+    rows = once(fig5_kernel_speedups, jobs=bench_jobs())
     emit(
         "fig5_kernel_speedup",
         render_figure(

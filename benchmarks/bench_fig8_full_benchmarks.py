@@ -8,11 +8,11 @@ activating benchmarks show no statistical difference.
 
 from repro.bench import fig8_full_benchmark_speedups, format_rows
 from repro.bench.ascii import render_figure
-from conftest import emit
+from conftest import bench_jobs, emit
 
 
 def test_fig8_full_benchmarks(once):
-    rows = once(fig8_full_benchmark_speedups)
+    rows = once(fig8_full_benchmark_speedups, jobs=bench_jobs())
     emit(
         "fig8_full_benchmarks",
         render_figure(

@@ -11,6 +11,12 @@ Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py
     PYTHONPATH=src python benchmarks/check_regression.py --tolerance 0.05
+    PYTHONPATH=src python benchmarks/check_regression.py --emit-bench BENCH_pr4.json
+
+``--jobs N`` shards the Figure 5 measurement over N worker processes
+(bit-identical data).  ``--emit-bench PATH`` additionally times the suite
+serial vs parallel (jobs=2) and writes a perf-baseline JSON: per-kernel
+speedups plus both wall-clock measurements and their ratio.
 """
 
 from __future__ import annotations
@@ -31,6 +37,48 @@ def load_baseline(path: pathlib.Path) -> dict:
     return {row["kernel"]: row for row in rows if "kernel" in row}
 
 
+def emit_bench(path: pathlib.Path, fresh: dict) -> None:
+    """Write the perf baseline: speedups + serial vs parallel wall-clock.
+
+    Simulated cycles are deterministic, so the speedup table is identical
+    between the two runs; only the wall-clock differs.  Both measurements
+    run the full (kernel, config) suite through the same worker function,
+    so the ratio isolates the process-pool win.
+    """
+    import time
+
+    from repro.bench import run_suite_parallel
+
+    start = time.perf_counter()
+    run_suite_parallel(jobs=1)
+    serial_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    run_suite_parallel(jobs=2)
+    parallel_seconds = time.perf_counter() - start
+    document = {
+        "figure": "fig5_kernel_speedups",
+        "speedups": {
+            kernel: {
+                config: float(row[config])
+                for config in CONFIGS
+                if config in row
+            }
+            for kernel, row in sorted(fresh.items())
+        },
+        "suite_wall_seconds": {
+            "serial": round(serial_seconds, 3),
+            "parallel_jobs2": round(parallel_seconds, 3),
+        },
+        "parallel_speedup": round(serial_seconds / parallel_seconds, 3),
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(
+        f"wrote {path}: suite serial {serial_seconds:.2f}s, "
+        f"parallel(jobs=2) {parallel_seconds:.2f}s "
+        f"({serial_seconds / parallel_seconds:.2f}x)"
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -45,6 +93,19 @@ def main(argv=None) -> int:
         default=0.10,
         help="maximum allowed fractional speedup drop (default 0.10)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the fresh Figure 5 run (default 1)",
+    )
+    parser.add_argument(
+        "--emit-bench",
+        type=pathlib.Path,
+        metavar="PATH",
+        help="also time the suite serial vs parallel (jobs=2) and write a "
+        "perf-baseline JSON to PATH",
+    )
     args = parser.parse_args(argv)
 
     if not args.baseline.exists():
@@ -56,9 +117,12 @@ def main(argv=None) -> int:
 
     fresh = {
         row["kernel"]: row
-        for row in fig5_kernel_speedups()
+        for row in fig5_kernel_speedups(jobs=args.jobs)
         if "kernel" in row
     }
+
+    if args.emit_bench is not None:
+        emit_bench(args.emit_bench, fresh)
 
     failures = []
     for kernel, old in sorted(baseline.items()):

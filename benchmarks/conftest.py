@@ -9,11 +9,25 @@ stable artifact.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_jobs() -> int:
+    """Worker processes for the parallelizable figure benchmarks.
+
+    Defaults to 1 (serial — identical data either way, since simulated
+    cycles are deterministic); set ``REPRO_BENCH_JOBS=N`` to shard the
+    (kernel, config) measurements over N processes.
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+    except ValueError:
+        return 1
 
 
 def emit(name: str, text: str, rows=None) -> None:

@@ -8,6 +8,11 @@ from .runner import (
     run_kernel_matrix,
     speedup_over,
 )
+from .parallel import (
+    default_jobs,
+    run_kernel_matrix_parallel,
+    run_suite_parallel,
+)
 from .figures import (
     PAPER_CONFIGS,
     fig5_kernel_speedups,
@@ -33,6 +38,9 @@ __all__ = [
     "run_kernel_config",
     "run_kernel_matrix",
     "speedup_over",
+    "default_jobs",
+    "run_kernel_matrix_parallel",
+    "run_suite_parallel",
     "PAPER_CONFIGS",
     "fig5_kernel_speedups",
     "fig6_aggregate_node_size",

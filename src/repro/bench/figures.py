@@ -23,7 +23,7 @@ from ..kernels.suite import Kernel, all_kernels
 from ..machine.targets import DEFAULT_TARGET, TargetMachine
 from ..sim.executor import simulate
 from ..vectorizer.pipeline import compile_module
-from ..vectorizer.slp import LSLP_CONFIG, O3_CONFIG, SLPConfig, SNSLP_CONFIG
+from ..vectorizer.slp import LSLP_CONFIG, O3_CONFIG, SLPConfig, SNSLP_CONFIG, config_named
 from .runner import DEFAULT_SEED, run_kernel_matrix, speedup_over
 from .timing import compile_time_and_phase_stats
 
@@ -37,16 +37,37 @@ def _kernel_set(kernels: Optional[Sequence[Kernel]]) -> List[Kernel]:
     return list(kernels) if kernels is not None else all_kernels()
 
 
+def _suite_runs(
+    kernels: List[Kernel],
+    target: TargetMachine,
+    jobs: Optional[int],
+) -> Dict[str, Dict[str, object]]:
+    """One matrix per kernel under the paper configs; ``jobs != 1``
+    shards the (kernel, config) pairs over worker processes.  Simulated
+    cycles are deterministic, so both paths return identical data."""
+    if jobs is not None and jobs != 1:
+        from .parallel import run_suite_parallel
+
+        return run_suite_parallel(kernels, PAPER_CONFIGS, target, jobs=jobs)
+    return {
+        kernel.name: run_kernel_matrix(kernel, PAPER_CONFIGS, target)
+        for kernel in kernels
+    }
+
+
 # -- Figure 5 -----------------------------------------------------------------------
 
 def fig5_kernel_speedups(
     kernels: Optional[Sequence[Kernel]] = None,
     target: TargetMachine = DEFAULT_TARGET,
+    jobs: Optional[int] = 1,
 ) -> List[Row]:
     """Normalized speedup over O3 for each kernel (Figure 5)."""
+    kernels = _kernel_set(kernels)
+    suite = _suite_runs(kernels, target, jobs)
     rows: List[Row] = []
-    for kernel in _kernel_set(kernels):
-        runs = run_kernel_matrix(kernel, PAPER_CONFIGS, target)
+    for kernel in kernels:
+        runs = suite[kernel.name]
         if not all(run.correct for run in runs.values()):
             raise AssertionError(f"{kernel.name}: output mismatch across configs")
         rows.append(
@@ -86,11 +107,14 @@ def _geomean(values: Sequence[float]) -> float:
 def fig6_aggregate_node_size(
     kernels: Optional[Sequence[Kernel]] = None,
     target: TargetMachine = DEFAULT_TARGET,
+    jobs: Optional[int] = 1,
 ) -> List[Row]:
     """Total aggregate Multi-/Super-Node size per kernel (Figure 6)."""
+    kernels = _kernel_set(kernels)
+    suite = _suite_runs(kernels, target, jobs)
     rows: List[Row] = []
-    for kernel in _kernel_set(kernels):
-        runs = run_kernel_matrix(kernel, PAPER_CONFIGS, target)
+    for kernel in kernels:
+        runs = suite[kernel.name]
         rows.append(
             {
                 "kernel": kernel.name,
@@ -111,12 +135,15 @@ def fig6_aggregate_node_size(
 def fig7_average_node_size(
     kernels: Optional[Sequence[Kernel]] = None,
     target: TargetMachine = DEFAULT_TARGET,
+    jobs: Optional[int] = 1,
 ) -> List[Row]:
     """Average Multi-/Super-Node size per kernel (Figure 7)."""
+    kernels = _kernel_set(kernels)
+    suite = _suite_runs(kernels, target, jobs)
     rows: List[Row] = []
     totals = {"LSLP": [0, 0], "SN-SLP": [0, 0]}  # [aggregate, count]
-    for kernel in _kernel_set(kernels):
-        runs = run_kernel_matrix(kernel, PAPER_CONFIGS, target)
+    for kernel in kernels:
+        runs = suite[kernel.name]
         row: Row = {"kernel": kernel.name}
         for name in ("LSLP", "SN-SLP"):
             row[name] = runs[name].average_node_size
@@ -167,19 +194,37 @@ def fig8_full_benchmark_speedups(
     target: TargetMachine = DEFAULT_TARGET,
     seed: int = DEFAULT_SEED,
     bulk_trip: int = 4096,
+    jobs: Optional[int] = 1,
 ) -> List[Row]:
     """End-to-end speedup of the composite benchmarks (Figure 8).
 
     The bulk function's weight is calibrated from the O3 run so the kernel
     accounts for the program's ``kernel_fraction`` of total O3 cycles; the
-    same weight then applies to every configuration.
+    same weight then applies to every configuration.  ``jobs != 1``
+    shards the (program, config) measurements across worker processes.
     """
-    rows: List[Row] = []
-    for program in programs if programs is not None else PROGRAMS:
-        per_config = {
-            config.name: _program_cycles(program, config, target, seed, bulk_trip)
-            for config in (O3_CONFIG, LSLP_CONFIG, SNSLP_CONFIG)
+    programs = list(programs) if programs is not None else list(PROGRAMS)
+    config_names = [c.name for c in (O3_CONFIG, LSLP_CONFIG, SNSLP_CONFIG)]
+    if jobs is not None and jobs != 1:
+        from .parallel import run_program_grid_parallel
+
+        grid = run_program_grid_parallel(
+            [p.name for p in programs], config_names, target, seed, bulk_trip,
+            jobs=jobs,
+        )
+    else:
+        grid = {
+            program.name: {
+                name: _program_cycles(
+                    program, config_named(name), target, seed, bulk_trip
+                )
+                for name in config_names
+            }
+            for program in programs
         }
+    rows: List[Row] = []
+    for program in programs:
+        per_config = grid[program.name]
         o3 = per_config["O3"]
         fraction = program.kernel_fraction
         bulk_weight = (o3["kernel"] * (1.0 - fraction)) / (fraction * o3["bulk"])
@@ -251,11 +296,20 @@ def fig11_compile_time(
     target: TargetMachine = DEFAULT_TARGET,
     runs: int = 10,
     warmup: int = 1,
+    jobs: Optional[int] = 1,
 ) -> List[Row]:
     """Wall compilation time normalized to the O3 configuration
-    (Figure 11): 10 measured runs after one warm-up, mean +/- stddev."""
+    (Figure 11): 10 measured runs after one warm-up, mean +/- stddev.
+    ``jobs != 1`` times kernels in parallel worker processes; each
+    kernel's O3-normalized ratio is still measured within one process,
+    so contention skews ratios far less than absolute times."""
+    kernels = _kernel_set(kernels)
+    if jobs is not None and jobs != 1:
+        from .parallel import time_kernels_parallel
+
+        return time_kernels_parallel(kernels, target, runs, warmup, jobs=jobs)
     rows: List[Row] = []
-    for kernel in _kernel_set(kernels):
+    for kernel in kernels:
         stats, phases = compile_time_and_phase_stats(
             kernel, target, runs=runs, warmup=warmup
         )

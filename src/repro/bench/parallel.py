@@ -1,0 +1,245 @@
+"""Process-parallel benchmark execution.
+
+The benchmark matrix is embarrassingly parallel: every (kernel,
+configuration) pair compiles and simulates independently, and PR 4's
+reentrant :class:`~repro.observe.session.CompilerSession` makes each
+pair's counters self-contained.  This module shards pairs across worker
+processes and reassembles results **deterministically**: the simulator
+charges cycles from a fixed cost model (no wall-clock anywhere in the
+data), so a parallel run is bit-identical to the serial one on cycles,
+counters, vectorization statistics and correctness — only the wall-clock
+``compile_seconds``/``phase_seconds`` fields differ, as they do between
+any two serial runs.
+
+Workers receive *names*, not objects: kernels, programs, configs and
+targets are all resolvable from registries
+(:func:`~repro.kernels.suite.kernel_named` & co.), which keeps the
+pickled payloads tiny and sidesteps the fact that kernel builders are
+closures.  Every worker builds a fresh root session, so nothing in the
+parent's ambient session is consulted or mutated.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..kernels.suite import Kernel, all_kernels, kernel_named
+from ..machine.targets import DEFAULT_TARGET, TargetMachine, target_named
+from ..observe.session import CompilerSession, use_session
+from ..vectorizer.slp import ALL_CONFIGS, O3_CONFIG, SLPConfig, config_named
+from .runner import DEFAULT_SEED, KernelRun, outputs_match, run_kernel_config
+
+#: (kernel_name, config_name, target_name, seed) — everything a worker needs
+PairPayload = Tuple[str, str, str, int]
+
+
+def default_jobs() -> int:
+    return os.cpu_count() or 1
+
+
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    return default_jobs() if jobs is None else max(1, jobs)
+
+
+def _run_pair(payload: PairPayload) -> KernelRun:
+    """Worker: run one (kernel, config) pair in its own root session."""
+    kernel_name, config_name, target_name, seed = payload
+    kernel = kernel_named(kernel_name)
+    session = CompilerSession(name=f"bench-worker:{kernel_name}/{config_name}")
+    with use_session(session):
+        return run_kernel_config(
+            kernel,
+            config_named(config_name),
+            target_named(target_name),
+            seed,
+            session=session.derive(),
+        )
+
+
+def _with_oracle(configs: Sequence[SLPConfig]) -> List[SLPConfig]:
+    configs = list(configs)
+    if not any(c.name == O3_CONFIG.name for c in configs):
+        configs.insert(0, O3_CONFIG)
+    return configs
+
+
+def _pair_payloads(
+    kernels: Sequence[Kernel],
+    configs: Sequence[SLPConfig],
+    target: TargetMachine,
+    seed: int,
+) -> List[PairPayload]:
+    return [
+        (kernel.name, config.name, target.name, seed)
+        for kernel in kernels
+        for config in configs
+    ]
+
+
+def _assemble(
+    kernels: Sequence[Kernel],
+    configs: Sequence[SLPConfig],
+    results: Sequence[KernelRun],
+) -> Dict[str, Dict[str, KernelRun]]:
+    """Group worker results back into per-kernel matrices (payload order)
+    and apply the O3 correctness cross-check in the parent."""
+    suite: Dict[str, Dict[str, KernelRun]] = {}
+    cursor = 0
+    for kernel in kernels:
+        runs = {
+            config.name: results[cursor + offset]
+            for offset, config in enumerate(configs)
+        }
+        cursor += len(configs)
+        oracle = runs[O3_CONFIG.name]
+        for run in runs.values():
+            run.correct = outputs_match(kernel, run.outputs, oracle.outputs)
+        suite[kernel.name] = runs
+    return suite
+
+
+def run_kernel_matrix_parallel(
+    kernel: Kernel,
+    configs: Sequence[SLPConfig] = ALL_CONFIGS,
+    target: TargetMachine = DEFAULT_TARGET,
+    seed: int = DEFAULT_SEED,
+    jobs: Optional[int] = None,
+) -> Dict[str, KernelRun]:
+    """Parallel twin of :func:`~repro.bench.runner.run_kernel_matrix`.
+
+    Shards one kernel's configurations across ``jobs`` worker processes
+    (default: all cores).  ``jobs=1`` degenerates to the serial runner.
+    """
+    return run_suite_parallel([kernel], configs, target, seed, jobs)[kernel.name]
+
+
+def run_suite_parallel(
+    kernels: Optional[Sequence[Kernel]] = None,
+    configs: Sequence[SLPConfig] = ALL_CONFIGS,
+    target: TargetMachine = DEFAULT_TARGET,
+    seed: int = DEFAULT_SEED,
+    jobs: Optional[int] = None,
+) -> Dict[str, Dict[str, KernelRun]]:
+    """Run every (kernel, config) pair of the suite, sharded over
+    processes; returns ``{kernel_name: {config_name: KernelRun}}``.
+
+    Results are reassembled in payload order, so the outcome is
+    deterministic regardless of ``jobs`` or completion order.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    kernels = list(kernels) if kernels is not None else all_kernels()
+    configs = _with_oracle(configs)
+    payloads = _pair_payloads(kernels, configs, target, seed)
+    jobs = _resolve_jobs(jobs)
+    if jobs <= 1 or len(payloads) <= 1:
+        results = [_run_pair(payload) for payload in payloads]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+            results = list(pool.map(_run_pair, payloads))
+    return _assemble(kernels, configs, results)
+
+
+# -- figure-level workers -----------------------------------------------------------
+
+#: (program_name, config_name, target_name, seed, bulk_trip)
+ProgramPayload = Tuple[str, str, str, int, int]
+
+
+def _run_program_config(payload: ProgramPayload) -> Dict[str, float]:
+    """Worker: one composite program under one configuration (Figure 8)."""
+    from ..kernels.programs import program_named
+    from .figures import _program_cycles
+
+    program_name, config_name, target_name, seed, bulk_trip = payload
+    session = CompilerSession(name=f"fig8-worker:{program_name}/{config_name}")
+    with use_session(session):
+        return _program_cycles(
+            program_named(program_name),
+            config_named(config_name),
+            target_named(target_name),
+            seed,
+            bulk_trip,
+        )
+
+
+def run_program_grid_parallel(
+    program_names: Sequence[str],
+    config_names: Sequence[str],
+    target: TargetMachine,
+    seed: int,
+    bulk_trip: int,
+    jobs: Optional[int] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Fan (program, config) cycle measurements out over processes;
+    returns ``{program_name: {config_name: cycle_data}}``."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    payloads: List[ProgramPayload] = [
+        (program, config, target.name, seed, bulk_trip)
+        for program in program_names
+        for config in config_names
+    ]
+    jobs = _resolve_jobs(jobs)
+    if jobs <= 1 or len(payloads) <= 1:
+        results = [_run_program_config(payload) for payload in payloads]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+            results = list(pool.map(_run_program_config, payloads))
+    grid: Dict[str, Dict[str, Dict[str, float]]] = {}
+    cursor = 0
+    for program in program_names:
+        grid[program] = {
+            config: results[cursor + offset]
+            for offset, config in enumerate(config_names)
+        }
+        cursor += len(config_names)
+    return grid
+
+
+#: (kernel_name, target_name, runs, warmup)
+TimingPayload = Tuple[str, str, int, int]
+
+
+def _time_kernel(payload: TimingPayload) -> Dict[str, object]:
+    """Worker: one kernel's Figure 11 compile-time row."""
+    from .timing import compile_time_and_phase_stats
+
+    kernel_name, target_name, runs, warmup = payload
+    session = CompilerSession(name=f"fig11-worker:{kernel_name}")
+    with use_session(session):
+        stats, phases = compile_time_and_phase_stats(
+            kernel_named(kernel_name), target_named(target_name),
+            runs=runs, warmup=warmup,
+        )
+    o3 = stats["O3"]
+    return {
+        "kernel": kernel_name,
+        "O3": 1.0,
+        "LSLP": stats["LSLP"].mean / o3.mean,
+        "SN-SLP": stats["SN-SLP"].mean / o3.mean,
+        "LSLP stddev": stats["LSLP"].stddev / o3.mean,
+        "SN-SLP stddev": stats["SN-SLP"].stddev / o3.mean,
+        "phase_seconds": phases,
+    }
+
+
+def time_kernels_parallel(
+    kernels: Sequence[Kernel],
+    target: TargetMachine,
+    runs: int,
+    warmup: int,
+    jobs: Optional[int] = None,
+) -> List[Dict[str, object]]:
+    """Figure 11 rows, one worker per kernel, in kernel order."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    payloads: List[TimingPayload] = [
+        (kernel.name, target.name, runs, warmup) for kernel in kernels
+    ]
+    jobs = _resolve_jobs(jobs)
+    if jobs <= 1 or len(payloads) <= 1:
+        return [_time_kernel(payload) for payload in payloads]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+        return list(pool.map(_time_kernel, payloads))

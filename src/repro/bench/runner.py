@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..kernels.suite import Kernel
 from ..machine.targets import DEFAULT_TARGET, TargetMachine
-from ..observe import STATS
+from ..observe.session import CompilerSession, current_session
 from ..sim.executor import simulate
 from ..vectorizer.pipeline import compile_module
 from ..vectorizer.slp import ALL_CONFIGS, O3_CONFIG, SLPConfig
@@ -70,20 +70,28 @@ def run_kernel_config(
     config: SLPConfig,
     target: TargetMachine = DEFAULT_TARGET,
     seed: int = DEFAULT_SEED,
+    session: Optional[CompilerSession] = None,
 ) -> KernelRun:
-    """Compile ``kernel`` under ``config`` and simulate one invocation."""
+    """Compile ``kernel`` under ``config`` and simulate one invocation.
+
+    One derived session spans the compile and the simulation, so
+    ``KernelRun.counters`` holds this pair's compile counters plus the
+    simulation cycle histogram — and nothing else.
+    """
+    own = session if session is not None else current_session().derive(
+        name=f"bench:{kernel.name}/{config.name}"
+    )
     inputs = kernel.make_inputs(random.Random(seed))
-    compiled = compile_module(kernel.build(), config, target)
+    compiled = compile_module(kernel.build(), config, target, session=own)
     result = simulate(
         compiled.module,
         kernel.function,
         target,
         [kernel.trip_count],
         inputs=inputs,
+        session=own,
     )
-    # compile_module reset the registry; after simulate it holds this
-    # pair's compile counters plus the simulation cycle histogram
-    counters = STATS.snapshot()
+    counters = own.stats.snapshot()
     report = compiled.report
     return KernelRun(
         kernel=kernel.name,

@@ -52,7 +52,7 @@ from .ir import FloatType, Module, print_module
 from .ir.parser import ParseError
 from .ir.verifier import VerificationError
 from .machine import DEFAULT_TARGET, target_named
-from .observe import REMARKS, STATS, TRACER
+from .observe.session import CompilerSession, current_session, use_session
 from .sim import simulate
 from .vectorizer import ALL_CONFIGS, compile_module, config_named
 
@@ -84,32 +84,50 @@ def _resolve_target(name: str):
         _usage(str(exc.args[0]) if exc.args else str(exc))
 
 
-def _configure_observability(args: argparse.Namespace) -> None:
-    """Arm the tracer / remark collector before the command runs."""
+def _configure_observability(args: argparse.Namespace, session: CompilerSession) -> None:
+    """Arm the session's tracer / remark collector before the command runs."""
     if getattr(args, "trace_out", None):
-        TRACER.clear()
-        TRACER.enable()
+        session.tracer.enable()
     if getattr(args, "remarks", None):
-        REMARKS.clear()
-        REMARKS.enable()
+        session.remarks.enable()
 
 
-def _flush_observability(args: argparse.Namespace) -> None:
-    """Write trace/remark files and print the stats table after a command."""
+def _flush_observability(args: argparse.Namespace, session: CompilerSession) -> None:
+    """Write trace/remark files and print the stats table after a command.
+
+    Everything comes out of the per-invocation ``session`` — the process
+    default session is never consulted, so two CLI invocations embedded
+    in one process cannot bleed observability state into each other.
+    """
     if getattr(args, "trace_out", None):
-        TRACER.write_chrome_trace(args.trace_out)
+        session.tracer.write_chrome_trace(args.trace_out)
         print(
-            f"; wrote {len(TRACER.events)} trace event(s) to {args.trace_out}",
+            f"; wrote {len(session.tracer.events)} trace event(s) to {args.trace_out}",
             file=sys.stderr,
         )
     if getattr(args, "remarks", None):
-        REMARKS.write_jsonl(args.remarks)
+        session.remarks.write_jsonl(args.remarks)
         print(
-            f"; wrote {len(REMARKS.remarks)} remark(s) to {args.remarks}",
+            f"; wrote {len(session.remarks.remarks)} remark(s) to {args.remarks}",
             file=sys.stderr,
         )
     if getattr(args, "stats", False) and not getattr(args, "_stats_printed", False):
-        print(STATS.report(), file=sys.stderr)
+        print(session.stats.report(), file=sys.stderr)
+
+
+def _stats_table(stats, title: str) -> str:
+    """Render a counter *snapshot dict* as an LLVM -stats-style table.
+
+    Campaign results carry their session's snapshot as a plain dict; this
+    rebuilds a throwaway registry (descriptions auto-fill from the
+    process-wide STAT catalog) purely for formatting.
+    """
+    from .observe.stats import StatsRegistry
+
+    registry = StatsRegistry()
+    for name, value in sorted(stats.items()):
+        registry.stat(name).add(value)
+    return registry.report(title=title, include_zero=False)
 
 
 def _print_phase_times(result, label: str) -> None:
@@ -209,13 +227,35 @@ def cmd_compile(args: argparse.Namespace) -> int:
             ladder=ladder,
             phase_budget_seconds=args.phase_budget,
             bundle_dir=args.bundle_dir,
+            session=current_session(),
         )
         result = outcome.result
         for line in outcome.summary().splitlines():
             print(f"; {line}", file=sys.stderr)
         label = outcome.config_used
+    elif args.cache_dir:
+        from .vectorizer import CompileCache, cached_compile_module
+
+        cache = CompileCache(args.cache_dir)
+        result = cached_compile_module(
+            module,
+            config,
+            target,
+            unroll_factor=args.unroll,
+            session=current_session(),
+            cache=cache,
+        )
+        label = config.name
+        hit = current_session().stats.value("cache.hits") > 0
+        print(
+            f"; compile cache {'hit' if hit else 'miss'} in {args.cache_dir}",
+            file=sys.stderr,
+        )
     else:
-        result = compile_module(module, config, target, unroll_factor=args.unroll)
+        result = compile_module(
+            module, config, target,
+            unroll_factor=args.unroll, session=current_session(),
+        )
         label = config.name
     print(
         f"; compiled {args.source} with {label} for {target.name} "
@@ -240,7 +280,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     kernel = _pick_kernel(module, args.kernel)
     config = _resolve_config(args.config)
     target = _resolve_target(args.target)
-    compiled = compile_module(module, config, target, unroll_factor=args.unroll)
+    compiled = compile_module(
+        module, config, target,
+        unroll_factor=args.unroll, session=current_session(),
+    )
     if args.verbose:
         _print_phase_times(compiled, config.name)
     inputs = _seed_inputs(module, args.seed)
@@ -251,6 +294,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         [args.n],
         inputs=inputs,
         max_steps=args.max_steps,
+        session=current_session(),
     )
     print(f"config:       {config.name}")
     print(f"cycles:       {result.cycles:.1f}")
@@ -277,13 +321,19 @@ def cmd_compare(args: argparse.Namespace) -> int:
     if not args.json:
         print(f"{'config':8s} {'cycles':>12s} {'speedup':>8s} {'vectorized':>11s} {'correct':>8s}")
     for config in ALL_CONFIGS:
+        # one derived session per configuration: its snapshot holds this
+        # config's compile counters plus the simulation's cycle histogram,
+        # and nothing from the other configurations
+        config_session = current_session().derive(name=f"compare:{config.name}")
         compiled = compile_module(
-            module, config, target, unroll_factor=args.unroll
+            module, config, target,
+            unroll_factor=args.unroll, session=config_session,
         )
-        result = simulate(compiled.module, kernel, target, [args.n], inputs=inputs)
-        # after simulate the registry holds this config's compile counters
-        # plus the simulation's cycle/instruction histogram
-        counters = STATS.snapshot()
+        result = simulate(
+            compiled.module, kernel, target, [args.n],
+            inputs=inputs, session=config_session,
+        )
+        counters = config_session.stats.snapshot()
         if baseline is None:
             baseline = result
         correct = True
@@ -319,7 +369,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
             _print_phase_times(compiled, config.name)
         if args.stats:
             print(
-                STATS.report(title=f"Statistics Collected ({config.name})"),
+                config_session.stats.report(
+                    title=f"Statistics Collected ({config.name})"
+                ),
                 file=sys.stderr,
             )
     args._stats_printed = True
@@ -341,7 +393,10 @@ def cmd_report(args: argparse.Namespace) -> int:
     module = _load_module(args.source)
     config = _resolve_config(args.config)
     target = _resolve_target(args.target)
-    compiled = compile_module(module, config, target, unroll_factor=args.unroll)
+    compiled = compile_module(
+        module, config, target,
+        unroll_factor=args.unroll, session=current_session(),
+    )
     print(compiled.report.summary())
     missed = compiled.report.missed_reasons()
     if missed:
@@ -376,10 +431,14 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_jobs() -> int:
+    from .bench.parallel import default_jobs
+
+    return default_jobs()
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     from .fuzz import run_campaign, run_injection_campaign, replay_file
-    from .fuzz.campaign import FUZZ_STATS
-    from .fuzz.oracle import failure_signature
 
     target = _resolve_target(args.target)
 
@@ -392,11 +451,12 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             max_ulps=args.max_ulps,
             phase_budget_seconds=args.phase_budget,
             progress=lambda line: print(f"; {line}", file=sys.stderr),
+            session=current_session(),
         )
         print(result.summary())
         if args.stats:
             print(
-                FUZZ_STATS.report(title="Injection Campaign Statistics"),
+                _stats_table(result.stats, "Injection Campaign Statistics"),
                 file=sys.stderr,
             )
             args._stats_printed = True
@@ -417,6 +477,16 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             print(line)
         if report.reference_trapped:
             print("  reference run trapped: the reproducer is input-sensitive")
+        if args.stats:
+            # per-config counter snapshots from each outcome's session
+            for outcome in report.outcomes:
+                print(
+                    _stats_table(
+                        outcome.counters, f"Replay Counters ({outcome.config})"
+                    ),
+                    file=sys.stderr,
+                )
+            args._stats_printed = True
         return EXIT_OK if report.ok else EXIT_MISMATCH
 
     result = run_campaign(
@@ -428,11 +498,13 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         max_ulps=args.max_ulps,
         reduce_failures=not args.no_reduce,
         progress=lambda line: print(f"; {line}", file=sys.stderr),
+        jobs=args.jobs if args.jobs is not None else _default_jobs(),
+        session=current_session(),
     )
     print(result.summary())
     if args.stats:
         print(
-            FUZZ_STATS.report(title="Fuzzing Campaign Statistics"),
+            _stats_table(result.stats, "Fuzzing Campaign Statistics"),
             file=sys.stderr,
         )
         args._stats_printed = True
@@ -445,6 +517,60 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
     return EXIT_OK if result.ok else EXIT_MISMATCH
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.parallel import default_jobs, run_suite_parallel
+    from .bench.runner import speedup_over
+    from .kernels.suite import kernel_named
+
+    target = _resolve_target(args.target)
+    kernels = None
+    if args.kernel:
+        try:
+            kernels = [kernel_named(name) for name in args.kernel]
+        except KeyError as exc:
+            _usage(str(exc.args[0]) if exc.args else str(exc))
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    suite = run_suite_parallel(kernels, target=target, seed=args.seed, jobs=jobs)
+    exit_code = EXIT_OK
+    rows: List[Dict] = []
+    if not args.json:
+        print(
+            f"{'kernel':24s} {'config':8s} {'cycles':>12s} {'speedup':>8s} "
+            f"{'correct':>8s}"
+        )
+    for kernel_name, runs in suite.items():
+        for config_name, run in runs.items():
+            speedup = speedup_over(runs, config_name)
+            if not run.correct:
+                exit_code = EXIT_MISMATCH
+            rows.append(
+                {
+                    "kernel": kernel_name,
+                    "config": config_name,
+                    "cycles": run.cycles,
+                    "speedup": speedup,
+                    "correct": run.correct,
+                    "counters": run.counters,
+                }
+            )
+            if not args.json:
+                print(
+                    f"{kernel_name:24s} {config_name:8s} {run.cycles:12.1f} "
+                    f"{speedup:8.2f} {str(run.correct):>8s}"
+                )
+    if args.json:
+        document = {
+            "target": target.name,
+            "seed": args.seed,
+            "jobs": jobs,
+            "runs": rows,
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    return exit_code
 
 
 def cmd_bisect(args: argparse.Namespace) -> int:
@@ -553,6 +679,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a reduced failure-NNNN crash bundle under DIR when a "
         "guarded compile captures a crash",
     )
+    p_compile.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="content-addressed compile cache: reuse the stored result when "
+        "the printed module + config + target + unroll factor match",
+    )
     p_compile.set_defaults(fn=cmd_compile)
 
     p_run = sub.add_parser("run", help="compile and execute one kernel")
@@ -645,7 +777,45 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="per-phase wall-clock budget for --inject guarded compiles",
     )
+    p_fuzz.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for count budgets (default: all cores); "
+        "results are bit-identical to a serial run",
+    )
     p_fuzz.set_defaults(fn=cmd_fuzz)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the kernel benchmark suite (optionally in parallel)"
+    )
+    p_bench.add_argument(
+        "--kernel",
+        action="append",
+        metavar="NAME",
+        help="benchmark kernel(s) to run (default: the whole suite); repeatable",
+    )
+    p_bench.add_argument(
+        "--target",
+        default=DEFAULT_TARGET.name,
+        help="target machine (skylake-like, sse4-like, no-addsub, scalar)",
+    )
+    p_bench.add_argument("--seed", type=int, default=0, help="input seed")
+    p_bench.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: all cores); cycles/counters are "
+        "bit-identical to a serial run",
+    )
+    p_bench.add_argument(
+        "--json",
+        action="store_true",
+        help="print a structured JSON document instead of the table",
+    )
+    p_bench.set_defaults(fn=cmd_bench)
 
     p_bisect = sub.add_parser(
         "bisect",
@@ -681,9 +851,18 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    _configure_observability(args)
+    # every invocation gets its own root session: counters, remarks and
+    # traces are scoped to this command, never to process globals.  The
+    # fault registry is inherited — injected faults model the build
+    # environment, so an armed fault must stay visible to the command
+    # (replaying a crash bundle relies on this).
+    session = CompilerSession(
+        name=f"cli:{args.command}", faults=current_session().faults
+    )
+    _configure_observability(args, session)
     try:
-        return args.fn(args)
+        with use_session(session):
+            return args.fn(args)
     except SystemExit as exc:
         # _usage() raises SystemExit(EXIT_USAGE); surface it as a return
         # value so callers (and tests) see the code without unwinding
@@ -714,7 +893,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return EXIT_CRASH
     finally:
-        _flush_observability(args)
+        _flush_observability(args, session)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -7,10 +7,17 @@ on every run.  Time budgets (``30s``, ``2m``) trade that determinism for
 wall-clock control — bucket *rates* stay stable, totals depend on the
 machine.
 
-Bucket statistics live in a campaign-private
-:class:`~repro.observe.stats.StatsRegistry` rather than the process-wide
-``STATS``: ``compile_module`` resets the global registry on every
-compilation, which would wipe campaign counters mid-flight.
+Bucket statistics accumulate in a campaign-private
+:class:`~repro.observe.session.CompilerSession`: each oracle check runs
+in its own derived session, so per-compilation counters never mix with
+the campaign's ``fuzz.*`` buckets, and ``CampaignResult.stats`` is the
+campaign session's snapshot.
+
+``jobs > 1`` shards a *count* budget across worker processes in chunks
+of consecutive indices; summaries merge in index order, so the result —
+programs visited, bucket statistics, failure set — is bit-identical to
+the serial run.  Time budgets stay serial (their stopping point is
+wall-clock dependent either way).
 
 Failures become artifact directories::
 
@@ -47,8 +54,9 @@ from ..ir.types import FloatType
 from ..ir.verifier import verify_module
 from ..kernels.seeding import derive_seed
 from ..machine.targets import DEFAULT_TARGET, TargetMachine
-from ..observe import REMARKS, StatsRegistry
-from ..robust.faults import COMPILE_SITES, FAULT_SITES, FAULTS
+from ..observe import STAT
+from ..observe.session import CompilerSession, current_session, use_session
+from ..robust.faults import COMPILE_SITES, FAULT_SITES, current_faults
 from ..sim import simulate
 from ..vectorizer import ALL_CONFIGS, SLPConfig, compile_module
 from ..vectorizer.slp import SNSLP_CONFIG
@@ -63,35 +71,34 @@ from .oracle import (
 )
 from .reduce import ReductionResult, count_instructions, reduce_module, write_reproducer
 
-#: campaign-private counter registry (see module docstring)
-FUZZ_STATS = StatsRegistry()
-
-_PROGRAMS = FUZZ_STATS.stat("fuzz.programs-generated", "programs generated")
-_VECTORIZED = FUZZ_STATS.stat(
+# Campaign bucket counters: lazy proxies that resolve into the running
+# campaign's session (see module docstring).
+_PROGRAMS = STAT("fuzz.programs-generated", "programs generated")
+_VECTORIZED = STAT(
     "fuzz.programs-vectorized", "programs vectorized by at least one config"
 )
-_OK = FUZZ_STATS.stat("fuzz.programs-ok", "programs with all configs equivalent")
-_MISMATCHES = FUZZ_STATS.stat("fuzz.mismatches", "scalar/vector output mismatches")
-_TRAPS = FUZZ_STATS.stat("fuzz.traps", "programs whose reference run trapped")
-_VERIFIER = FUZZ_STATS.stat(
+_OK = STAT("fuzz.programs-ok", "programs with all configs equivalent")
+_MISMATCHES = STAT("fuzz.mismatches", "scalar/vector output mismatches")
+_TRAPS = STAT("fuzz.traps", "programs whose reference run trapped")
+_VERIFIER = STAT(
     "fuzz.verifier-failures", "post-vectorization IR verifier failures"
 )
-_GAPS = FUZZ_STATS.stat("fuzz.interp-gaps", "interpreter gaps (unsupported opcodes)")
-_CRASHES = FUZZ_STATS.stat("fuzz.crashes", "compiler crashes")
-_BUDGET_BLOWS = FUZZ_STATS.stat(
+_GAPS = STAT("fuzz.interp-gaps", "interpreter gaps (unsupported opcodes)")
+_CRASHES = STAT("fuzz.crashes", "compiler crashes")
+_BUDGET_BLOWS = STAT(
     "fuzz.budget-exceeded", "compiled modules that blew the step watchdog"
 )
-_INJECTIONS = FUZZ_STATS.stat("fuzz.injections", "deterministic faults armed")
-_INJ_RECOVERED = FUZZ_STATS.stat(
+_INJECTIONS = STAT("fuzz.injections", "deterministic faults armed")
+_INJ_RECOVERED = STAT(
     "fuzz.injected-recovered", "injected faults the guarded driver recovered from"
 )
-_INJ_UNREACHED = FUZZ_STATS.stat(
+_INJ_UNREACHED = STAT(
     "fuzz.injected-unreached", "armed faults whose site the compile never reached"
 )
-_INJ_ESCAPED = FUZZ_STATS.stat(
+_INJ_ESCAPED = STAT(
     "fuzz.injected-escaped", "injected faults that corrupted the guarded output"
 )
-_INJ_FATAL = FUZZ_STATS.stat(
+_INJ_FATAL = STAT(
     "fuzz.injected-fatal", "injected faults that killed the guarded driver"
 )
 
@@ -214,18 +221,13 @@ def _write_failure_remarks(
     config = next((c for c in configs if c.name == config_name), None)
     if config is None:
         return
-    was_enabled = REMARKS.enabled
-    REMARKS.clear()
-    REMARKS.enable()
+    session = current_session().derive(name="failure-remarks", fresh_remarks=True)
+    session.remarks.enable()
     try:
-        compile_module(module, config, target)
+        compile_module(module, config, target, session=session.derive())
     except Exception:  # noqa: BLE001 - remarks of a crash are still useful
         pass
-    finally:
-        REMARKS.write_jsonl(path)
-        REMARKS.clear()
-        if not was_enabled:
-            REMARKS.disable()
+    session.remarks.write_jsonl(path)
 
 
 def _save_failure(
@@ -277,6 +279,69 @@ def _save_failure(
         json.dump(document, handle, indent=2, sort_keys=True)
 
 
+#: how many consecutive program indices one parallel worker task covers
+CHUNK_SIZE = 8
+
+
+def _campaign_chunk_worker(
+    payload: Tuple[Tuple[int, ...], int, Tuple[str, ...], str, int, int],
+) -> List[Tuple[int, Dict[str, float], bool]]:
+    """Run one chunk of campaign indices in a worker process.
+
+    Returns compact per-index summaries ``(index, bucket_counters,
+    failed)``; the parent merges counters in index order and re-runs
+    failing indices serially to build artifacts, so workers never touch
+    the filesystem and everything crossing the process boundary is plain
+    data.
+    """
+    from ..machine.targets import target_named
+    from ..vectorizer.slp import config_named
+
+    indices, seed, config_names, target_name, input_seed, max_ulps = payload
+    configs = [config_named(name) for name in config_names]
+    target = target_named(target_name)
+    summaries: List[Tuple[int, Dict[str, float], bool]] = []
+    for index in indices:
+        session = CompilerSession(name=f"fuzz-worker/{index}")
+        with use_session(session):
+            spec = random_spec(derive_seed(seed, f"campaign-program/{index}"))
+            program = generate_program(spec)
+            report = run_oracle(
+                program,
+                input_seed=input_seed,
+                configs=configs,
+                target=target,
+                max_ulps=max_ulps,
+            )
+            _bucket(report)
+        failed = not report.ok and not report.reference_trapped
+        summaries.append((index, session.stats.snapshot(), failed))
+    return summaries
+
+
+def _rerun_index(
+    index: int,
+    seed: int,
+    configs: Sequence[SLPConfig],
+    target: TargetMachine,
+    input_seed: int,
+    max_ulps: int,
+) -> Tuple[OracleReport, object]:
+    """Regenerate program ``index`` and re-run the oracle (deterministic:
+    identical to what the worker saw).  Does NOT bucket — the worker
+    already counted this program."""
+    spec = random_spec(derive_seed(seed, f"campaign-program/{index}"))
+    program = generate_program(spec)
+    report = run_oracle(
+        program,
+        input_seed=input_seed,
+        configs=configs,
+        target=target,
+        max_ulps=max_ulps,
+    )
+    return report, spec
+
+
 def run_campaign(
     budget: str = "30s",
     seed: int = 0,
@@ -288,35 +353,157 @@ def run_campaign(
     reduce_failures: bool = True,
     max_failures: int = 25,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = None,
+    session: Optional[CompilerSession] = None,
 ) -> CampaignResult:
     """Run one fuzzing campaign within ``budget``.
 
     The campaign stops early once ``max_failures`` distinct failing
     programs have been collected (reduction dominates runtime by then).
+
+    ``jobs > 1`` parallelizes *count* budgets across worker processes;
+    the merged result is bit-identical to the serial run (see the module
+    docstring).  Time budgets always run serial.
     """
     kind, amount = parse_budget(budget)
-    FUZZ_STATS.reset()
+    campaign = session if session is not None else current_session().derive(
+        name="fuzz-campaign"
+    )
+    if jobs is not None and jobs > 1 and kind == "count":
+        return _run_campaign_parallel(
+            campaign,
+            int(amount),
+            seed,
+            out_dir,
+            configs,
+            target,
+            input_seed,
+            max_ulps,
+            reduce_failures,
+            max_failures,
+            progress,
+            jobs,
+        )
     failures: List[FailureArtifact] = []
     started = time.perf_counter()
     index = 0
-    while True:
-        if kind == "count" and index >= amount:
-            break
-        if kind == "time" and time.perf_counter() - started >= amount:
-            break
+    with use_session(campaign):
+        while True:
+            if kind == "count" and index >= amount:
+                break
+            if kind == "time" and time.perf_counter() - started >= amount:
+                break
+            if len(failures) >= max_failures:
+                break
+            spec = random_spec(derive_seed(seed, f"campaign-program/{index}"))
+            program = generate_program(spec)
+            report = run_oracle(
+                program,
+                input_seed=input_seed,
+                configs=configs,
+                target=target,
+                max_ulps=max_ulps,
+            )
+            _bucket(report)
+            if not report.ok and not report.reference_trapped:
+                artifact = FailureArtifact(index=index, report=report)
+                failures.append(artifact)
+                if out_dir is not None:
+                    _save_failure(
+                        artifact,
+                        out_dir,
+                        configs,
+                        target,
+                        input_seed,
+                        max_ulps,
+                        reduce_failures,
+                    )
+                if progress is not None:
+                    progress(
+                        f"failure #{index} ({spec.shape}, seed {spec.seed}): "
+                        + "; ".join(
+                            f"{cfg}:{status}"
+                            for cfg, status in failure_signature(report)
+                        )
+                    )
+            index += 1
+    return CampaignResult(
+        programs=index,
+        elapsed_seconds=time.perf_counter() - started,
+        stats=campaign.stats.snapshot(),
+        failures=failures,
+    )
+
+
+def _run_campaign_parallel(
+    campaign: CompilerSession,
+    count: int,
+    seed: int,
+    out_dir: Optional[str],
+    configs: Sequence[SLPConfig],
+    target: TargetMachine,
+    input_seed: int,
+    max_ulps: int,
+    reduce_failures: bool,
+    max_failures: int,
+    progress: Optional[Callable[[str], None]],
+    jobs: int,
+) -> CampaignResult:
+    """Sharded count-budget campaign, merged to match the serial run.
+
+    Chunks of :data:`CHUNK_SIZE` consecutive indices are dispatched in
+    waves of ``jobs``; per-index summaries are then replayed *in index
+    order* through the same stop conditions the serial loop uses, so the
+    visited-program count, bucket statistics and failure set are
+    bit-identical regardless of ``jobs`` (indices computed beyond the
+    serial stopping point are simply discarded).  Failing indices are
+    re-run serially in the parent to build reduction artifacts.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    started = time.perf_counter()
+    config_names = tuple(config.name for config in configs)
+    chunks = [
+        tuple(range(base, min(base + CHUNK_SIZE, count)))
+        for base in range(0, count, CHUNK_SIZE)
+    ]
+    summaries: List[Tuple[int, Dict[str, float], bool]] = []
+    failure_count = 0
+    stopped = False
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        cursor = 0
+        while cursor < len(chunks) and not stopped:
+            wave = chunks[cursor : cursor + jobs]
+            cursor += len(wave)
+            payloads = [
+                (chunk, seed, config_names, target.name, input_seed, max_ulps)
+                for chunk in wave
+            ]
+            for chunk_summaries in pool.map(_campaign_chunk_worker, payloads):
+                summaries.extend(chunk_summaries)
+            # Replay the serial stop condition over what we have so far:
+            # once max_failures is reached, later chunks are dead weight.
+            failure_count = sum(
+                1 for _, _, failed in summaries if failed
+            )
+            if failure_count >= max_failures:
+                stopped = True
+
+    # Serial-equivalent accounting pass, strictly in index order.
+    failures: List[FailureArtifact] = []
+    programs = 0
+    for index, counters, failed in summaries:
         if len(failures) >= max_failures:
             break
-        spec = random_spec(derive_seed(seed, f"campaign-program/{index}"))
-        program = generate_program(spec)
-        report = run_oracle(
-            program,
-            input_seed=input_seed,
-            configs=configs,
-            target=target,
-            max_ulps=max_ulps,
-        )
-        _bucket(report)
-        if not report.ok and not report.reference_trapped:
+        for name, value in counters.items():
+            campaign.stats.stat(name).add(value)
+        programs = index + 1
+        if not failed:
+            continue
+        with use_session(campaign):
+            report, spec = _rerun_index(
+                index, seed, configs, target, input_seed, max_ulps
+            )
             artifact = FailureArtifact(index=index, report=report)
             failures.append(artifact)
             if out_dir is not None:
@@ -329,19 +516,18 @@ def run_campaign(
                     max_ulps,
                     reduce_failures,
                 )
-            if progress is not None:
-                progress(
-                    f"failure #{index} ({spec.shape}, seed {spec.seed}): "
-                    + "; ".join(
-                        f"{cfg}:{status}"
-                        for cfg, status in failure_signature(report)
-                    )
+        if progress is not None:
+            progress(
+                f"failure #{index} ({spec.shape}, seed {spec.seed}): "
+                + "; ".join(
+                    f"{cfg}:{status}"
+                    for cfg, status in failure_signature(report)
                 )
-        index += 1
+            )
     return CampaignResult(
-        programs=index,
+        programs=programs,
         elapsed_seconds=time.perf_counter() - started,
-        stats=FUZZ_STATS.snapshot(),
+        stats=campaign.stats.snapshot(),
         failures=failures,
     )
 
@@ -449,7 +635,8 @@ def _inject_one(
     from ..robust.guard import guarded_compile
 
     _INJECTIONS.add()
-    plan = FAULTS.arm(site, mode, once=True)
+    faults = current_faults()
+    plan = faults.arm(site, mode, once=True)
     guarded = None
     fatal_detail = ""
     try:
@@ -463,7 +650,7 @@ def _inject_one(
         fatal_detail = f"{type(exc).__name__}: {exc}"
     finally:
         fired = plan.fired
-        FAULTS.disarm_all()
+        faults.disarm_all()
 
     if guarded is None:
         _INJ_FATAL.add()
@@ -507,59 +694,65 @@ def run_injection_campaign(
     max_ulps: int = DEFAULT_MAX_ULPS,
     phase_budget_seconds: float = 0.2,
     progress: Optional[Callable[[str], None]] = None,
+    session: Optional[CompilerSession] = None,
 ) -> InjectionResult:
     """Fault-injection campaign: prove the guarded driver absorbs every
     registered compile-time fault without corrupting results.
 
     Program ``index`` arms combination ``index % len(combos)``, so a
     count budget of ``len(injection_combos())`` (currently 8) covers
-    every (site, mode) pair exactly once per cycle.
+    every (site, mode) pair exactly once per cycle.  Always serial:
+    arming a fault mutates the session's injector, which parallel shards
+    would race on.
     """
     kind, amount = parse_budget(budget)
-    FUZZ_STATS.reset()
+    campaign = session if session is not None else current_session().derive(
+        name="inject-campaign"
+    )
     combos = injection_combos()
     outcomes: List[InjectionOutcome] = []
     started = time.perf_counter()
     index = 0
-    while True:
-        if kind == "count" and index >= amount:
-            break
-        if kind == "time" and time.perf_counter() - started >= amount:
-            break
-        spec = random_spec(derive_seed(seed, f"inject-program/{index}"))
-        program = generate_program(spec)
-        site, mode = combos[index % len(combos)]
-        index += 1
-        _PROGRAMS.add()
-        inputs = make_inputs(program.module, input_seed)
-        FAULTS.disarm_all()  # the reference must run clean
-        try:
-            reference = _interpret_reference(
-                program.module, program.kernel, program.args, inputs
+    with use_session(campaign):
+        while True:
+            if kind == "count" and index >= amount:
+                break
+            if kind == "time" and time.perf_counter() - started >= amount:
+                break
+            spec = random_spec(derive_seed(seed, f"inject-program/{index}"))
+            program = generate_program(spec)
+            site, mode = combos[index % len(combos)]
+            index += 1
+            _PROGRAMS.add()
+            inputs = make_inputs(program.module, input_seed)
+            current_faults().disarm_all()  # the reference must run clean
+            try:
+                reference = _interpret_reference(
+                    program.module, program.kernel, program.args, inputs
+                )
+            except (TrapError, BudgetExceededError):
+                _TRAPS.add()
+                continue
+            outcome = _inject_one(
+                program,
+                site,
+                mode,
+                target,
+                inputs,
+                reference,
+                max_ulps,
+                phase_budget_seconds,
+                index - 1,
             )
-        except (TrapError, BudgetExceededError):
-            _TRAPS.add()
-            continue
-        outcome = _inject_one(
-            program,
-            site,
-            mode,
-            target,
-            inputs,
-            reference,
-            max_ulps,
-            phase_budget_seconds,
-            index - 1,
-        )
-        outcomes.append(outcome)
-        if progress is not None and outcome.status in ("escaped", "fatal"):
-            progress(
-                f"escape #{outcome.index} ({site}:{mode}): {outcome.detail}"
-            )
+            outcomes.append(outcome)
+            if progress is not None and outcome.status in ("escaped", "fatal"):
+                progress(
+                    f"escape #{outcome.index} ({site}:{mode}): {outcome.detail}"
+                )
     return InjectionResult(
         programs=index,
         elapsed_seconds=time.perf_counter() - started,
-        stats=FUZZ_STATS.snapshot(),
+        stats=campaign.stats.snapshot(),
         outcomes=outcomes,
     )
 

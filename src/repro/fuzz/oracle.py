@@ -48,6 +48,7 @@ from ..ir.module import Module
 from ..ir.types import FloatType
 from ..ir.verifier import VerificationError
 from ..machine.targets import DEFAULT_TARGET, TargetMachine
+from ..observe.session import current_session
 from ..sim import simulate
 from ..vectorizer import ALL_CONFIGS, SLPConfig, compile_module
 from .genprog import FuzzProgram, make_inputs
@@ -104,6 +105,8 @@ class ConfigOutcome:
     detail: str = ""
     vectorized_graphs: int = 0
     cycles: float = 0.0
+    #: this configuration's compile + simulation counter snapshot
+    counters: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -139,6 +142,7 @@ class OracleReport:
                     "detail": o.detail,
                     "vectorized_graphs": o.vectorized_graphs,
                     "cycles": o.cycles,
+                    "counters": o.counters,
                 }
                 for o in self.outcomes
             ],
@@ -213,9 +217,12 @@ def _check_config(
     reference: Dict[str, List],
     max_ulps: int,
 ) -> ConfigOutcome:
+    # A private session per configuration check: the outcome carries its
+    # own compile + simulation counter snapshot (replay reports print it).
+    session = current_session().derive(name=f"oracle:{config.name}")
     module = program.module
     try:
-        compiled = compile_module(module, config, target)
+        compiled = compile_module(module, config, target, session=session)
     except VerificationError as exc:
         return ConfigOutcome(config.name, "verifier", detail=str(exc))
     except Exception as exc:  # noqa: BLE001 - any compiler crash is a finding
@@ -231,10 +238,15 @@ def _check_config(
             target,
             program.args,
             inputs=inputs,
+            session=session,
         )
     except UnsupportedOpcodeError as exc:
         return ConfigOutcome(
-            config.name, "interp-gap", detail=str(exc), vectorized_graphs=vectorized
+            config.name,
+            "interp-gap",
+            detail=str(exc),
+            vectorized_graphs=vectorized,
+            counters=session.stats.snapshot(),
         )
     except BudgetExceededError as exc:
         # The reference finished within budget, so a compiled module that
@@ -244,6 +256,7 @@ def _check_config(
             "budget",
             detail=str(exc),
             vectorized_graphs=vectorized,
+            counters=session.stats.snapshot(),
         )
     except TrapError as exc:
         # The reference did not trap, so a trapping compiled module is a
@@ -253,14 +266,17 @@ def _check_config(
             "mismatch",
             detail=f"compiled module trapped: {exc}",
             vectorized_graphs=vectorized,
+            counters=session.stats.snapshot(),
         )
 
+    counters = session.stats.snapshot()
     if not (math.isfinite(result.cycles) and result.cycles > 0):
         return ConfigOutcome(
             config.name,
             "mismatch",
             detail=f"implausible cycle count {result.cycles!r}",
             vectorized_graphs=vectorized,
+            counters=counters,
         )
 
     # Compare every global, not just the declared outputs: a vectorized
@@ -280,10 +296,12 @@ def _check_config(
                     ),
                     vectorized_graphs=vectorized,
                     cycles=result.cycles,
+                    counters=counters,
                 )
     return ConfigOutcome(
         config.name,
         "ok",
         vectorized_graphs=vectorized,
         cycles=result.cycles,
+        counters=counters,
     )

@@ -42,7 +42,7 @@ from ..ir.folding import compare, fold_binary, fold_cast
 from ..ir.module import Module
 from ..ir.types import IntType, PointerType, Type, VectorType
 from ..ir.values import Argument, Constant, GlobalBuffer, Value
-from ..robust.faults import FAULTS
+from ..robust.faults import current_faults
 from .memory import Memory
 
 
@@ -193,8 +193,9 @@ class Interpreter:
 
     def _tick(self, inst: Instruction) -> None:
         self.executed_instructions += 1
-        if FAULTS.armed:
-            FAULTS.fire("interp.step", stall=self._stall)
+        faults = current_faults()
+        if faults.armed:
+            faults.fire("interp.step", stall=self._stall)
         if self.executed_instructions > self.instruction_budget:
             raise BudgetExceededError(
                 f"step budget exhausted after {self.instruction_budget} "

@@ -8,25 +8,46 @@ The LLVM-style introspection triple for this Python compiler:
   snapshot/reset semantics (``-stats``);
 * :mod:`repro.observe.remarks` — structured passed/missed/analysis
   optimization remarks serialized as JSONL (``-Rpass`` /
-  ``-fsave-optimization-record``).
+  ``-fsave-optimization-record``);
+* :mod:`repro.observe.session` — :class:`CompilerSession`, the explicit
+  bundle of all three that makes compilation reentrant.  Each
+  compilation runs in its own derived session, so counters are isolated
+  without any global reset and compilations can run concurrently.
 
 All three are off (or free) by default: the tracer and remark collector
 cost one branch per call site while disabled, and counters are plain
 attribute increments.  The CLI's ``--trace-out``, ``--stats`` and
-``--remarks`` flags switch them on; ``compile_module`` resets counters per
-compilation so benchmark runs stay isolated.
+``--remarks`` flags switch them on for the command's session.
+
+``STATS`` / ``TRACER`` / ``REMARKS`` remain importable as deprecated
+aliases of the *default* session's components (see
+:mod:`repro.observe.session`).
 """
 
-from .trace import TRACER, TraceEvent, Tracer
-from .stats import STAT, STATS, Statistic, StatsRegistry
-from .remarks import REMARK_KINDS, REMARKS, Remark, RemarkCollector, load_remarks
+from .trace import TraceEvent, Tracer
+from .stats import STAT, STAT_CATALOG, StatProxy, Statistic, StatsRegistry
+from .remarks import REMARK_KINDS, Remark, RemarkCollector, load_remarks
+from .session import (
+    DEFAULT_SESSION,
+    REMARKS,
+    STATS,
+    TRACER,
+    CompilerSession,
+    current_remarks,
+    current_session,
+    current_stats,
+    current_tracer,
+    use_session,
+)
 
 __all__ = [
     "TRACER",
     "Tracer",
     "TraceEvent",
     "STAT",
+    "STAT_CATALOG",
     "STATS",
+    "StatProxy",
     "Statistic",
     "StatsRegistry",
     "REMARKS",
@@ -34,4 +55,11 @@ __all__ = [
     "Remark",
     "RemarkCollector",
     "load_remarks",
+    "CompilerSession",
+    "DEFAULT_SESSION",
+    "current_session",
+    "current_stats",
+    "current_tracer",
+    "current_remarks",
+    "use_session",
 ]

@@ -161,5 +161,5 @@ def load_remarks(path: str) -> List[Remark]:
     return remarks
 
 
-#: process-wide collector, shared by the vectorizer and the CLI
-REMARKS = RemarkCollector()
+# The deprecated process-wide ``REMARKS`` alias (the default session's
+# collector) is bound in repro.observe.session.

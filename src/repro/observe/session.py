@@ -1,0 +1,164 @@
+"""Compiler sessions: explicit, reentrant observability scopes.
+
+Historically the repro kept one process-wide :data:`STATS` registry, one
+:data:`TRACER` and one :data:`REMARKS` collector, and ``compile_module``
+called ``STATS.reset()`` on entry — so exactly one compilation could be
+in flight per process, and any two interleaved compiles corrupted each
+other's counters.  A :class:`CompilerSession` bundles the three (plus
+the fault-injection registry and the benchmark seed) into an explicit
+object that every layer threads through, which is what makes the
+parallel benchmark/fuzz drivers (:mod:`repro.bench.parallel`) and the
+compile cache (:mod:`repro.vectorizer.cache`) possible.
+
+Ambient current session
+-----------------------
+
+The ~30 module-scope ``STAT("name", "desc")`` registrations across the
+vectorizer cannot receive a session at import time, so the *current*
+session is also available ambiently through a :mod:`contextvars`
+variable:
+
+* :func:`current_session` returns the active session (falling back to
+  :data:`DEFAULT_SESSION` when none was installed);
+* :func:`use_session` installs a session for a ``with`` scope —
+  per-thread and per-``contextvars`` context, so two threads (or two
+  asyncio tasks) can run different sessions concurrently;
+* ``STAT(...)`` handles are lazy proxies that resolve
+  ``current_session().stats`` at *increment* time, so the same
+  module-scope handle records into whichever session is active.
+
+Deriving sessions
+-----------------
+
+``session.derive(fresh_stats=True)`` creates a child session with a
+fresh counter registry but *shared* tracer, remark collector and fault
+registry.  ``compile_module`` runs each compilation in such a child (and
+discards it on failure), which replaces the old reset-on-entry semantics
+with true isolation: a crashing compile can no longer poison the next
+compilation's counter snapshot, and concurrent compiles never observe
+each other's counters.
+
+Deprecated singleton aliases
+----------------------------
+
+``observe.STATS`` / ``observe.TRACER`` / ``observe.REMARKS`` remain
+importable as aliases for the *default* session's components so existing
+call sites and tests keep working.  They are deprecated: new code should
+accept a :class:`CompilerSession` (or call :func:`current_session`)
+instead.  This module is the only place in ``src/repro`` allowed to bind
+them.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .remarks import RemarkCollector
+from .stats import StatsRegistry
+from .trace import Tracer
+
+
+class CompilerSession:
+    """One observability scope: stats + remarks + tracer (+ faults, seed).
+
+    ``faults`` is an opaque slot deliberately untyped here: the fault
+    registry lives in :mod:`repro.robust.faults`, which imports this
+    module — typing it would create an import cycle.  The slot is bound
+    lazily by ``robust.faults.current_faults()`` on first use.
+    """
+
+    __slots__ = ("name", "stats", "remarks", "tracer", "faults", "seed")
+
+    def __init__(
+        self,
+        name: str = "session",
+        stats: Optional[StatsRegistry] = None,
+        remarks: Optional[RemarkCollector] = None,
+        tracer: Optional[Tracer] = None,
+        faults: object = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.remarks = remarks if remarks is not None else RemarkCollector()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.faults = faults
+        self.seed = seed
+
+    def derive(
+        self,
+        name: Optional[str] = None,
+        fresh_stats: bool = True,
+        fresh_remarks: bool = False,
+    ) -> "CompilerSession":
+        """A child session sharing this session's tracer/remarks/faults.
+
+        ``fresh_stats=True`` (the default) gives the child its own
+        counter registry — the isolation ``compile_module`` relies on.
+        ``fresh_remarks=True`` additionally gives it a private remark
+        collector (used by bundle/artifact writers that must not leak
+        remarks into the caller's stream).
+        """
+        return CompilerSession(
+            name=name or f"{self.name}.child",
+            stats=StatsRegistry() if fresh_stats else self.stats,
+            remarks=RemarkCollector() if fresh_remarks else self.remarks,
+            tracer=self.tracer,
+            faults=self.faults,
+            seed=self.seed,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CompilerSession {self.name!r}>"
+
+
+#: the process default: what ``current_session()`` returns when no
+#: session was installed, and what the deprecated singleton aliases
+#: (``observe.STATS`` et al.) are bound to
+DEFAULT_SESSION = CompilerSession(name="default")
+
+_CURRENT: contextvars.ContextVar[Optional[CompilerSession]] = contextvars.ContextVar(
+    "repro_current_session", default=None
+)
+
+
+def current_session() -> CompilerSession:
+    """The ambient session (:data:`DEFAULT_SESSION` if none installed)."""
+    session = _CURRENT.get()
+    return session if session is not None else DEFAULT_SESSION
+
+
+@contextmanager
+def use_session(session: CompilerSession) -> Iterator[CompilerSession]:
+    """Install ``session`` as the ambient current session for a scope."""
+    token = _CURRENT.set(session)
+    try:
+        yield session
+    finally:
+        _CURRENT.reset(token)
+
+
+def current_stats() -> StatsRegistry:
+    return current_session().stats
+
+
+def current_tracer() -> Tracer:
+    return current_session().tracer
+
+
+def current_remarks() -> RemarkCollector:
+    return current_session().remarks
+
+
+# -- deprecated singleton aliases (the shim) ---------------------------------
+#
+# These bind the *default* session's concrete components under their
+# historical names.  ``from repro.observe import STATS`` keeps working,
+# but records only what runs in the default session; code that compiles
+# concurrently or wants isolated counters must use sessions.
+
+STATS = DEFAULT_SESSION.stats
+TRACER = DEFAULT_SESSION.tracer
+REMARKS = DEFAULT_SESSION.remarks

@@ -5,14 +5,18 @@ Modules register counters once at import time::
     from ..observe import STAT
     _TRUNK_MOVES = STAT("supernode.trunk-moves-applied", "trunk swaps applied")
 
-and bump them on the hot path with ``_TRUNK_MOVES.add()`` — one attribute
-increment, cheap enough to leave enabled unconditionally, exactly like
-LLVM's ``STATISTIC`` macro.
+and bump them on the hot path with ``_TRUNK_MOVES.add()`` — exactly like
+LLVM's ``STATISTIC`` macro.  ``STAT`` returns a :class:`StatProxy`: the
+handle is registered once at import time but resolves the *current*
+:class:`~repro.observe.session.CompilerSession`'s registry at increment
+time, so the same module-scope handle records into whichever session is
+active (see :mod:`repro.observe.session`).
 
-The registry supports ``snapshot()`` (non-zero values as a plain dict) and
-``reset()`` (zero every counter in place, preserving handle identity), so
-benchmark runs stay isolated: :func:`repro.vectorizer.pipeline.
-compile_module` resets the registry on entry and snapshots it on exit.
+A :class:`StatsRegistry` belongs to one session.  It supports
+``snapshot()`` (non-zero values as a plain dict) and ``reset()`` (zero
+every counter in place, preserving handle identity); isolation between
+compilations comes from :meth:`CompilerSession.derive` handing each
+compilation a fresh registry, not from resetting a shared one.
 """
 
 from __future__ import annotations
@@ -44,14 +48,16 @@ class StatsRegistry:
         self._stats: Dict[str, Statistic] = {}
 
     def stat(self, name: str, description: str = "") -> Statistic:
-        """Return the (singleton) counter for ``name``, registering it on
-        first use.  A later registration may fill in a description."""
+        """Return the (per-registry) counter for ``name``, registering it
+        on first use.  A later registration may fill in a description;
+        absent that, the process-wide :data:`STAT_CATALOG` description
+        recorded by ``STAT(...)`` is used."""
         existing = self._stats.get(name)
         if existing is not None:
             if description and not existing.description:
                 existing.description = description
             return existing
-        created = Statistic(name, description)
+        created = Statistic(name, description or STAT_CATALOG.get(name, ""))
         self._stats[name] = created
         return created
 
@@ -104,10 +110,53 @@ def _fmt_value(value: float) -> str:
     return f"{value:.1f}"
 
 
-#: the process-wide registry (LLVM's global statistics list)
-STATS = StatsRegistry()
+#: every name/description ever passed to ``STAT(...)`` — the process-wide
+#: *catalog* of counters (descriptions only; values live per session)
+STAT_CATALOG: Dict[str, str] = {}
 
 
-def STAT(name: str, description: str = "") -> Statistic:
-    """Shorthand for ``STATS.stat(...)`` mirroring LLVM's ``STATISTIC``."""
-    return STATS.stat(name, description)
+class StatProxy:
+    """A lazy counter handle bound to a *name*, not a registry.
+
+    ``add()`` and ``value`` resolve the ambient session's registry at
+    call time, so module-scope ``STAT(...)`` handles keep working no
+    matter which :class:`~repro.observe.session.CompilerSession` is
+    active when the hot path runs.
+    """
+
+    __slots__ = ("name", "description")
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        if description and not STAT_CATALOG.get(name):
+            STAT_CATALOG[name] = description
+        else:
+            STAT_CATALOG.setdefault(name, description)
+
+    def resolve(self, registry: Optional[StatsRegistry] = None) -> Statistic:
+        """The concrete :class:`Statistic` in ``registry`` (default: the
+        current session's)."""
+        if registry is None:
+            from .session import current_stats
+
+            registry = current_stats()
+        return registry.stat(self.name, self.description)
+
+    def add(self, amount: float = 1) -> None:
+        self.resolve().add(amount)
+
+    @property
+    def value(self) -> float:
+        from .session import current_stats
+
+        return current_stats().value(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"StatProxy({self.name})"
+
+
+def STAT(name: str, description: str = "") -> StatProxy:
+    """Register a counter name and return its lazy per-session handle
+    (mirrors LLVM's ``STATISTIC`` macro)."""
+    return StatProxy(name, description)

@@ -159,5 +159,5 @@ class Tracer:
             handle.write("\n")
 
 
-#: process-wide tracer, shared by pipeline, vectorizer, simulator and CLI
-TRACER = Tracer()
+# The deprecated process-wide ``TRACER`` alias (the default session's
+# tracer) is bound in repro.observe.session.

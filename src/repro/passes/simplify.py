@@ -132,7 +132,7 @@ def simplify_function(function: Function) -> int:
 
 
 def simplify_module(module: Module) -> int:
-    from ..robust.faults import FAULTS
+    from ..robust.faults import current_faults
 
-    FAULTS.fire("simplify.module")
+    current_faults().fire("simplify.module")
     return sum(simplify_function(f) for f in module.functions.values())

@@ -27,7 +27,7 @@ from ..ir.module import Module
 from ..ir.printer import print_module
 from ..ir.verifier import VerificationError
 from ..machine.targets import DEFAULT_TARGET, TargetMachine
-from ..observe import REMARKS
+from ..observe.session import current_session, use_session
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .guard import GuardedResult
@@ -96,6 +96,7 @@ def write_crash_bundle(
         "requested_config": outcome.requested_config,
         "config_used": outcome.config_used,
         "recoveries": [record.to_dict() for record in outcome.recoveries],
+        "counters": outcome.result.counters if outcome.result is not None else {},
         "replay": (
             f"repro bisect reduced.ir --config {crash.config}"
             if reduce_failure
@@ -142,26 +143,25 @@ def _write_recovery_remarks(
     path: str,
 ) -> None:
     """Re-run the *guarded* driver over the reproducer with the remark
-    collector armed, so the bundle carries the recovery remarks."""
+    collector armed, so the bundle carries the recovery remarks.
+
+    Uses a private derived session (fresh remark collector) so the
+    re-compile neither pollutes nor depends on whatever collector the
+    surrounding command is using.
+    """
     from ..vectorizer import config_named
     from .guard import guarded_compile
 
-    was_enabled = REMARKS.enabled
-    saved = list(REMARKS.remarks)
-    REMARKS.clear()
-    REMARKS.enable()
-    try:
-        guarded_compile(
-            module,
-            config_named(config_name),
-            target,
-            unroll_factor=unroll_factor,
-        )
-    except Exception:  # noqa: BLE001 - remarks of a failure are still useful
-        pass
-    finally:
-        REMARKS.write_jsonl(path)
-        REMARKS.clear()
-        REMARKS.remarks.extend(saved)
-        if not was_enabled:
-            REMARKS.disable()
+    session = current_session().derive(name="bundle-remarks", fresh_remarks=True)
+    session.remarks.enable()
+    with use_session(session):
+        try:
+            guarded_compile(
+                module,
+                config_named(config_name),
+                target,
+                unroll_factor=unroll_factor,
+            )
+        except Exception:  # noqa: BLE001 - remarks of a failure are still useful
+            pass
+    session.remarks.write_jsonl(path)

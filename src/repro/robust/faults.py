@@ -29,6 +29,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
+from ..observe.session import DEFAULT_SESSION, current_session
+
 FAULT_MODES = ("raise", "corrupt", "stall")
 
 
@@ -215,5 +217,22 @@ class FaultInjector:
         raise AssertionError(f"unknown fault mode {plan.mode!r}")
 
 
-#: the process-wide injector; disarmed (and therefore free) by default
+#: the default session's injector; disarmed (and therefore free) by
+#: default.  Deprecated alias — new code should arm faults through
+#: :func:`current_faults` (or an explicit session's ``faults`` slot).
 FAULTS = FaultInjector()
+
+# Bind the injector into the default session.  CompilerSession keeps
+# ``faults`` as an opaque slot precisely so observe/ never has to import
+# this module; derived sessions share their parent's injector, so a
+# fault armed before a guarded/fuzzed compile stays armed inside it.
+DEFAULT_SESSION.faults = FAULTS
+
+
+def current_faults() -> FaultInjector:
+    """The ambient session's fault injector, bound lazily on first use."""
+    session = current_session()
+    injector = session.faults
+    if injector is None:
+        injector = session.faults = FaultInjector()
+    return injector

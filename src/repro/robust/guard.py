@@ -31,7 +31,14 @@ from ..ir.module import Module
 from ..ir.printer import print_module
 from ..ir.verifier import VerificationError, verify_module
 from ..machine.targets import DEFAULT_TARGET, TargetMachine
-from ..observe import REMARKS, STATS
+from ..observe import STAT
+from ..observe.session import (
+    CompilerSession,
+    current_remarks,
+    current_session,
+    current_stats,
+    use_session,
+)
 from ..vectorizer.pipeline import (
     CompilationResult,
     _phase,
@@ -44,18 +51,18 @@ from ..vectorizer.slp import SLPConfig, SNSLP_CONFIG, config_named
 #: default degradation ladder, strongest transform first
 DEFAULT_LADDER: Tuple[str, ...] = ("SN-SLP", "LSLP", "SLP", "O3")
 
-_GUARDED = STATS.stat("robust.guarded-compiles", "guarded compilations run")
-_RECOVERIES = STATS.stat("robust.recoveries", "phase failures recovered")
-_PHASE_SKIPS = STATS.stat("robust.phase-skips", "mid-end phases skipped after rollback")
-_DESCENTS = STATS.stat("robust.ladder-descents", "degradation ladder descents")
-_BUDGETS = STATS.stat("robust.budget-blowouts", "phase budgets exceeded")
-_VERIFIER_ROLLBACKS = STATS.stat(
+_GUARDED = STAT("robust.guarded-compiles", "guarded compilations run")
+_RECOVERIES = STAT("robust.recoveries", "phase failures recovered")
+_PHASE_SKIPS = STAT("robust.phase-skips", "mid-end phases skipped after rollback")
+_DESCENTS = STAT("robust.ladder-descents", "degradation ladder descents")
+_BUDGETS = STAT("robust.budget-blowouts", "phase budgets exceeded")
+_VERIFIER_ROLLBACKS = STAT(
     "robust.verifier-rollbacks", "post-phase verifier failures rolled back"
 )
-_EXCEPTION_ROLLBACKS = STATS.stat(
+_EXCEPTION_ROLLBACKS = STAT(
     "robust.exception-rollbacks", "phase exceptions rolled back"
 )
-_PRISTINE = STATS.stat(
+_PRISTINE = STAT(
     "robust.pristine-fallbacks", "compiles served by the pristine input clone"
 )
 
@@ -163,6 +170,7 @@ def guarded_compile(
     phase_budget_seconds: Optional[float] = None,
     bundle_dir: Optional[str] = None,
     reduce_bundle: bool = True,
+    session: Optional[CompilerSession] = None,
 ) -> GuardedResult:
     """Compile ``module`` under ``config``, degrading instead of dying.
 
@@ -170,8 +178,40 @@ def guarded_compile(
     phases, timings, counters) but never raises for in-pipeline faults:
     the returned :class:`GuardedResult` always holds verified IR, at
     worst the pristine scalar clone of the input.
+
+    Runs in ``session`` when given, else in an ephemeral fresh-stats
+    child of the ambient session, so ``result.counters`` is exactly this
+    guarded compile's counters (including the ``robust.*`` recovery
+    counters) and nothing bleeds into other compilations.  Faults armed
+    on the ambient session's injector stay armed inside: derived
+    sessions share their parent's injector.
     """
-    STATS.reset()
+    own = session if session is not None else current_session().derive(
+        name=f"guard:{config.name}"
+    )
+    with use_session(own):
+        return _guarded_compile_in_session(
+            module,
+            config,
+            target,
+            unroll_factor,
+            ladder,
+            phase_budget_seconds,
+            bundle_dir,
+            reduce_bundle,
+        )
+
+
+def _guarded_compile_in_session(
+    module: Module,
+    config: SLPConfig,
+    target: TargetMachine,
+    unroll_factor: int,
+    ladder: Optional[Sequence[str]],
+    phase_budget_seconds: Optional[float],
+    bundle_dir: Optional[str],
+    reduce_bundle: bool,
+) -> GuardedResult:
     _GUARDED.add()
     outcome = GuardedResult(
         result=None,  # type: ignore[arg-type]  # filled below, always
@@ -212,7 +252,7 @@ def guarded_compile(
             report=VectorizationReport(config_name="pristine"),
             compile_seconds=sum(phases.values()),
             phase_seconds=phases,
-            counters=STATS.snapshot(),
+            counters=current_stats().snapshot(),
         )
         outcome.config_used = "pristine"
 
@@ -303,7 +343,7 @@ def _attempt_config(
         report=report,
         compile_seconds=sum(phases.values()),
         phase_seconds=phases,
-        counters=STATS.snapshot(),
+        counters=current_stats().snapshot(),
     )
 
 
@@ -340,7 +380,7 @@ def _record_failure(
 def _record(outcome: GuardedResult, record: RecoveryRecord) -> None:
     _RECOVERIES.add()
     outcome.recoveries.append(record)
-    REMARKS.recovery(
+    current_remarks().recovery(
         "guard",
         f"{record.kind} in phase {record.phase} under {record.config}: "
         f"rolled back, {record.action}",

@@ -27,7 +27,7 @@ from ..ir.instructions import (
 from ..ir.module import Module
 from ..ir.types import VectorType
 from ..machine.targets import TargetMachine
-from ..observe import STATS, TRACER
+from ..observe.session import CompilerSession, current_session, use_session
 
 
 class CycleCounter:
@@ -92,6 +92,7 @@ def simulate(
     capture_globals: bool = True,
     memory_size: int = 1 << 20,
     max_steps: Optional[int] = None,
+    session: Optional[CompilerSession] = None,
 ) -> SimulationResult:
     """Execute ``function_name`` and account cycles on ``target``.
 
@@ -100,7 +101,14 @@ def simulate(
     ``max_steps`` caps executed instructions (the watchdog): exceeding it
     raises :class:`~repro.interp.interpreter.BudgetExceededError` instead
     of letting a malformed loop hang the harness.
+
+    ``sim.*`` counters land in ``session`` when given, else in an
+    ephemeral child of the ambient session (the result object itself
+    carries cycles/instructions, so nothing is lost by discarding it).
     """
+    own = session if session is not None else current_session().derive(
+        name=f"simulate:{function_name}"
+    )
     counter = CycleCounter(target)
     interp = Interpreter(
         module,
@@ -111,17 +119,20 @@ def simulate(
     if inputs:
         for name, values in inputs.items():
             interp.write_global(name, values)
-    with TRACER.span("simulate", function=function_name, target=target.name):
-        result = interp.run(function_name, args)
-    STATS.stat("sim.cycles", "Total simulated cycles").add(counter.cycles)
-    STATS.stat("sim.instructions", "Simulated instructions executed").add(
-        counter.instructions
-    )
-    for opcode, cycles in counter.per_opcode.items():
-        STATS.stat(
-            f"sim.cycles.{opcode.name.lower()}",
-            "Simulated cycles charged to this opcode",
-        ).add(cycles)
+    with use_session(own):
+        with own.tracer.span(
+            "simulate", function=function_name, target=target.name
+        ):
+            result = interp.run(function_name, args)
+        own.stats.stat("sim.cycles", "Total simulated cycles").add(counter.cycles)
+        own.stats.stat("sim.instructions", "Simulated instructions executed").add(
+            counter.instructions
+        )
+        for opcode, cycles in counter.per_opcode.items():
+            own.stats.stat(
+                f"sim.cycles.{opcode.name.lower()}",
+                "Simulated cycles charged to this opcode",
+            ).add(cycles)
     globals_after = (
         {name: interp.read_global(name) for name in module.globals}
         if capture_globals

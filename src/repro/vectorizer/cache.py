@@ -1,0 +1,249 @@
+"""Content-addressed compile cache.
+
+Compilation is pure given (module text, configuration, target, unroll
+factor): the pipeline clones its input, the cost model is deterministic,
+and PR 4's per-compilation sessions mean no hidden global state feeds the
+result.  That makes the *printed module text* a sound cache key — two
+modules that print identically compile identically.
+
+The cache stores everything needed to rebuild a
+:class:`~repro.vectorizer.pipeline.CompilationResult` without running a
+single pass: the output module (as text, reparsed on hit), the
+vectorization report, the counter snapshot, and the recorded wall times.
+A cache hit therefore returns a result equal to a cold compile on every
+deterministic field; ``compile_seconds``/``phase_seconds`` are replayed
+from the original measurement (they describe the compile that produced
+the artifact, not the lookup).
+
+Entries live in an in-memory dict and, when a directory is given, as one
+JSON file per key so separate processes (or CI steps) can share warm
+artifacts.  Hits and misses are counted through the ambient
+:class:`~repro.observe.session.CompilerSession` via ``cache.hits`` /
+``cache.misses``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional
+
+from ..ir.instructions import Opcode
+from ..ir.module import Module
+from ..ir.parser import parse_module
+from ..ir.printer import print_module
+from ..machine.targets import DEFAULT_TARGET, TargetMachine
+from ..observe import STAT
+from ..observe.session import CompilerSession
+from .pipeline import CompilationResult, compile_module
+from .report import FunctionReport, GraphReport, VectorizationReport
+from .reorder import SuperNodeRecord
+from .slp import SLPConfig
+
+STAT_HITS = STAT("cache.hits", "compile cache hits")
+STAT_MISSES = STAT("cache.misses", "compile cache misses")
+
+#: bump when the serialized entry layout changes; stale-version entries
+#: on disk are treated as misses rather than deserialization errors
+CACHE_FORMAT = 1
+
+
+def cache_key(
+    module: Module,
+    config: SLPConfig,
+    target: TargetMachine = DEFAULT_TARGET,
+    unroll_factor: int = 0,
+) -> str:
+    """SHA-256 over the printed module text and the compile parameters."""
+    hasher = hashlib.sha256()
+    hasher.update(print_module(module).encode("utf-8"))
+    hasher.update(f"\x00{config.name}\x00{target.name}\x00{unroll_factor}".encode())
+    return hasher.hexdigest()
+
+
+# -- (de)serialization --------------------------------------------------------------
+
+
+def _record_to_json(record: SuperNodeRecord) -> Dict[str, object]:
+    return {
+        "kind": record.kind,
+        "lanes": record.lanes,
+        "size": record.size,
+        "family": record.family.name,
+        "contains_inverse": record.contains_inverse,
+        "vectorized": record.vectorized,
+        "leaf_swaps": record.leaf_swaps,
+        "trunk_swaps": record.trunk_swaps,
+    }
+
+
+def _record_from_json(data: Dict[str, object]) -> SuperNodeRecord:
+    return SuperNodeRecord(
+        kind=data["kind"],
+        lanes=data["lanes"],
+        size=data["size"],
+        family=Opcode[data["family"]],
+        contains_inverse=data["contains_inverse"],
+        vectorized=data["vectorized"],
+        leaf_swaps=data["leaf_swaps"],
+        trunk_swaps=data["trunk_swaps"],
+    )
+
+
+def _graph_to_json(graph: GraphReport) -> Dict[str, object]:
+    return {
+        "function": graph.function,
+        "block": graph.block,
+        "lanes": graph.lanes,
+        "cost": graph.cost,
+        "vectorized": graph.vectorized,
+        "node_count": graph.node_count,
+        "gather_count": graph.gather_count,
+        "supernodes": [_record_to_json(r) for r in graph.supernodes],
+        "dump": graph.dump,
+        "kind": graph.kind,
+        "gather_reasons": list(graph.gather_reasons),
+    }
+
+
+def _graph_from_json(data: Dict[str, object]) -> GraphReport:
+    return GraphReport(
+        function=data["function"],
+        block=data["block"],
+        lanes=data["lanes"],
+        cost=data["cost"],
+        vectorized=data["vectorized"],
+        node_count=data["node_count"],
+        gather_count=data["gather_count"],
+        supernodes=[_record_from_json(r) for r in data["supernodes"]],
+        dump=data["dump"],
+        kind=data["kind"],
+        gather_reasons=list(data["gather_reasons"]),
+    )
+
+
+def result_to_json(result: CompilationResult) -> Dict[str, object]:
+    """Serialize a compilation result to a JSON-compatible document."""
+    return {
+        "format": CACHE_FORMAT,
+        "module": print_module(result.module),
+        "report": {
+            "config_name": result.report.config_name,
+            "functions": [
+                {"name": fn.name, "graphs": [_graph_to_json(g) for g in fn.graphs]}
+                for fn in result.report.functions
+            ],
+        },
+        "compile_seconds": result.compile_seconds,
+        "phase_seconds": dict(result.phase_seconds),
+        "counters": dict(result.counters),
+    }
+
+
+def result_from_json(data: Dict[str, object]) -> CompilationResult:
+    """Rebuild a compilation result from :func:`result_to_json` output."""
+    report = VectorizationReport(
+        config_name=data["report"]["config_name"],
+        functions=[
+            FunctionReport(
+                name=fn["name"],
+                graphs=[_graph_from_json(g) for g in fn["graphs"]],
+            )
+            for fn in data["report"]["functions"]
+        ],
+    )
+    return CompilationResult(
+        module=parse_module(data["module"]),
+        report=report,
+        compile_seconds=data["compile_seconds"],
+        phase_seconds=dict(data["phase_seconds"]),
+        counters=dict(data["counters"]),
+    )
+
+
+# -- the cache ----------------------------------------------------------------------
+
+
+class CompileCache:
+    """In-memory compile cache with optional on-disk persistence.
+
+    With ``directory=None`` entries live only in this process.  With a
+    directory, every entry is also written as ``<key>.json`` and lookups
+    fall back to disk on an in-memory miss, so a warm directory survives
+    process boundaries (the CI warm/hit check relies on this).
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = directory
+        self._entries: Dict[str, Dict[str, object]] = {}
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _path(self, key: str) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, f"{key}.json")
+
+    def lookup(self, key: str) -> Optional[CompilationResult]:
+        """Return the cached result for ``key``, or None."""
+        entry = self._entries.get(key)
+        if entry is None and self.directory is not None:
+            path = self._path(key)
+            if os.path.exists(path):
+                with open(path, "r", encoding="utf-8") as handle:
+                    candidate = json.load(handle)
+                if candidate.get("format") == CACHE_FORMAT:
+                    entry = candidate
+                    self._entries[key] = entry
+        if entry is None:
+            return None
+        return result_from_json(entry)
+
+    def store(self, key: str, result: CompilationResult) -> None:
+        entry = result_to_json(result)
+        self._entries[key] = entry
+        if self.directory is not None:
+            path = self._path(key)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, path)
+
+
+def cached_compile_module(
+    module: Module,
+    config: SLPConfig,
+    target: TargetMachine = DEFAULT_TARGET,
+    verify: bool = True,
+    unroll_factor: int = 0,
+    session: Optional[CompilerSession] = None,
+    cache: Optional[CompileCache] = None,
+) -> CompilationResult:
+    """:func:`compile_module`, memoized through ``cache``.
+
+    ``cache=None`` degrades to a plain compile.  On a hit the stored
+    result is rehydrated and ``cache.hits`` is bumped in the ambient
+    session; on a miss the module is compiled normally (into ``session``
+    or an ephemeral child, exactly as ``compile_module`` would) and the
+    result is stored before being returned.
+    """
+    if cache is None:
+        return compile_module(
+            module, config, target,
+            verify=verify, unroll_factor=unroll_factor, session=session,
+        )
+    key = cache_key(module, config, target, unroll_factor)
+    cached = cache.lookup(key)
+    if cached is not None:
+        STAT_HITS.add()
+        return cached
+    STAT_MISSES.add()
+    result = compile_module(
+        module, config, target,
+        verify=verify, unroll_factor=unroll_factor, session=session,
+    )
+    cache.store(key, result)
+    return result

@@ -24,7 +24,7 @@ from ..ir.instructions import (
 )
 from ..ir.types import VectorType
 from ..ir.values import Constant, Value
-from ..robust.faults import FAULTS
+from ..robust.faults import current_faults
 from .graph import NodeKind, SLPGraph, SLPNode
 
 
@@ -83,7 +83,7 @@ def emit_vector_code(graph: SLPGraph) -> Value:
     # Injection point *after* emission: "raise" leaves half-rewritten IR
     # behind (the hardest rollback case) and "corrupt" produces a block
     # the post-phase verifier must reject (a missing terminator).
-    FAULTS.fire(
+    current_faults().fire(
         "codegen.emit",
         corrupt=lambda: vec_store.parent.terminator.erase_from_parent(),
     )

@@ -2,13 +2,16 @@
 
 The benchmark harness compiles *the same kernel* under each configuration;
 since the vectorizer mutates IR in place, the pipeline deep-clones the
-module first (via the printer/parser round-trip, which is also a constant
+module first (structurally, via :meth:`repro.ir.module.Module.clone`; the
+printer/parser round-trip survives behind ``via_text=True`` as an
 integrity check on both components).
 
 Observability: every phase runs inside a tracer span (`repro.observe`),
-its wall time lands in ``CompilationResult.phase_seconds``, and the
-statistic counter registry is reset on entry / snapshotted on exit so each
-compilation's counters are isolated from the previous one.
+its wall time lands in ``CompilationResult.phase_seconds``, and counters
+accumulate into a per-compilation :class:`~repro.observe.session.
+CompilerSession` — each compile gets its own statistic registry, so
+concurrent or interleaved compilations never bleed counters into each
+other and no global reset is needed.
 """
 
 from __future__ import annotations
@@ -23,7 +26,12 @@ from ..ir.parser import parse_module
 from ..ir.printer import print_module
 from ..ir.verifier import verify_module
 from ..machine.targets import DEFAULT_TARGET, TargetMachine
-from ..observe import STATS, TRACER
+from ..observe.session import (
+    CompilerSession,
+    current_session,
+    current_tracer,
+    use_session,
+)
 from .report import VectorizationReport
 from .slp import SLPConfig, SLPVectorizer
 
@@ -31,9 +39,18 @@ from .slp import SLPConfig, SLPVectorizer
 PIPELINE_PHASES = ("clone", "simplify", "unroll", "vectorize", "verify")
 
 
-def clone_module(module: Module) -> Module:
-    """Structural deep copy through the textual round-trip."""
-    return parse_module(print_module(module))
+def clone_module(module: Module, via_text: bool = False) -> Module:
+    """Structural deep copy of ``module``.
+
+    The default path is :meth:`Module.clone` — a direct object-graph copy
+    with no printing or reparsing on the compile hot path.  ``via_text=
+    True`` selects the legacy printer→parser round-trip, kept because it
+    doubles as an integrity check of the printer and parser against each
+    other (the pipeline test suite exercises it).
+    """
+    if via_text:
+        return parse_module(print_module(module))
+    return module.clone()
 
 
 @dataclass
@@ -54,7 +71,7 @@ class CompilationResult:
 @contextmanager
 def _phase(name: str, phases: Dict[str, float]) -> Iterator[None]:
     """Time one pipeline phase (always) and trace it (when enabled)."""
-    with TRACER.span(f"phase:{name}"):
+    with current_tracer().span(f"phase:{name}"):
         start = time.perf_counter()
         try:
             yield
@@ -104,6 +121,7 @@ def compile_module(
     target: TargetMachine = DEFAULT_TARGET,
     verify: bool = True,
     unroll_factor: int = 0,
+    session: Optional[CompilerSession] = None,
 ) -> CompilationResult:
     """Clone ``module`` and run the configured pipeline over the clone.
 
@@ -114,6 +132,14 @@ def compile_module(
     straight-line lanes to SLP for sources written one element per
     iteration.
 
+    Counter isolation: with ``session=None`` the compile runs in an
+    ephemeral child of the ambient session (fresh statistic registry,
+    shared tracer/remarks/faults), so ``CompilationResult.counters``
+    holds exactly this compilation's counters and a crashing compile
+    discards its partial counters with the child.  Passing an explicit
+    ``session`` makes the compile record into it instead; the snapshot
+    then reflects whatever else the caller ran in that session.
+
     ``compile_seconds`` covers the whole compilation — clone (the
     stand-in for the frontend/parsing work of a real compiler), passes,
     and verification — matching the paper's *wall* compile time protocol
@@ -121,11 +147,15 @@ def compile_module(
     sum of the per-phase spans in ``phase_seconds``, which attribute the
     same wall time to clone vs. simplify vs. SLP (Fig 11's protocol).
     """
-    STATS.reset()
+    own = session if session is not None else current_session().derive(
+        name=f"compile:{config.name}"
+    )
     phases: Dict[str, float] = {}
     report: Optional[VectorizationReport] = None
-    try:
-        with TRACER.span("compile", module=module.name, config=config.name):
+    with use_session(own):
+        with current_tracer().span(
+            "compile", module=module.name, config=config.name
+        ):
             with _phase("clone", phases):
                 working = clone_module(module)
             for name, fn in pipeline_phases(config, target, unroll_factor):
@@ -136,17 +166,11 @@ def compile_module(
             if verify:
                 with _phase("verify", phases):
                     verify_module(working)
-    except BaseException:
-        # A crashing phase must not poison the *next* compilation's
-        # counter snapshot (fuzz campaigns snapshot after simulate, which
-        # would otherwise see this compile's partial counters).
-        STATS.reset()
-        raise
     assert report is not None  # pipeline_phases always yields vectorize
     return CompilationResult(
         module=working,
         report=report,
         compile_seconds=sum(phases.values()),
         phase_seconds=phases,
-        counters=STATS.snapshot(),
+        counters=own.stats.snapshot(),
     )

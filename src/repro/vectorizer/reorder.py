@@ -22,7 +22,7 @@ from ..ir.builder import IRBuilder
 from ..ir.instructions import BinaryInst, Instruction, Opcode
 from ..ir.values import Value
 from ..observe import STAT
-from ..robust.faults import FAULTS
+from ..robust.faults import current_faults
 from .lookahead import LookAheadScorer
 from .supernode import LaneChain, Leaf, Slot, TrunkUnit, build_lane_chain
 
@@ -175,7 +175,7 @@ class SuperNode:
         isomorphism.  Returns the number of operand indexes for which a
         group was applied.  ``visit_root_first=False`` reverses the operand
         visit order (used by the ablation benchmark)."""
-        FAULTS.fire("reorder.reorder")
+        current_faults().fire("reorder.reorder")
         applied = 0
         # Applied-move statistics are measured as deltas over the chains'
         # own counters: failed placements restore them (place_leaf is
@@ -327,7 +327,7 @@ class SuperNode:
         the old root's uses are rewired; the superseded scalar chain goes
         dead and is swept by DCE later.  Returns the new per-lane roots.
         """
-        FAULTS.fire("reorder.generate-code")
+        current_faults().fire("reorder.generate-code")
         new_roots: List[BinaryInst] = []
         self.emitted_instructions = []
         for chain, old_root in zip(self.chains, self.roots):

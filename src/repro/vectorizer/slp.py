@@ -34,7 +34,7 @@ from ..ir.module import Module
 from ..ir.types import VectorType, vector_of
 from ..ir.values import Value
 from ..machine.targets import TargetMachine
-from ..observe import REMARKS, STAT, TRACER
+from ..observe import STAT, current_remarks, current_tracer
 from ..robust.bisect import BISECT
 from .codegen import emit_vector_code
 from .cost import compute_graph_cost, is_profitable
@@ -452,7 +452,7 @@ class SLPVectorizer:
         report = FunctionReport(name=function.name)
         if not self.config.enable_vectorizer:
             return report
-        with TRACER.span("slp.function", function=function.name):
+        with current_tracer().span("slp.function", function=function.name):
             for block in list(function.blocks):
                 self._run_on_block(function, block, report)
             eliminate_dead_code(function)
@@ -488,7 +488,7 @@ class SLPVectorizer:
                 f"lanes={len(seed)}"
             ):
                 continue  # vetoed by -opt-bisect-limit style gating
-            with TRACER.span(
+            with current_tracer().span(
                 "slp.graph", function=function.name, block=block.name,
                 lanes=len(seed),
             ):
@@ -496,7 +496,7 @@ class SLPVectorizer:
                 graph = builder.build()  # step 3
                 if graph is None:
                     _STAT_SEEDS_UNSCHEDULABLE.add()
-                    REMARKS.missed(
+                    current_remarks().missed(
                         "slp",
                         "seed store bundle is not schedulable",
                         function=function.name,
@@ -563,14 +563,14 @@ class SLPVectorizer:
         seed_kind: str,
     ) -> None:
         """Emit passed/missed (+ gather analysis) remarks for one graph."""
-        if not REMARKS.enabled:
+        if not current_remarks().enabled:
             return
         where = dict(function=function.name, block=block.name, seed=seed_kind)
         reasons: Dict[str, int] = {}
         for node in graph.gather_nodes():
             reasons[node.reason] = reasons.get(node.reason, 0) + 1
         if profitable:
-            REMARKS.passed(
+            current_remarks().passed(
                 "slp",
                 f"vectorized {graph.root.num_lanes}-lane {seed_kind} graph "
                 f"(cost {graph.total_cost:+.1f})",
@@ -583,14 +583,14 @@ class SLPVectorizer:
             # them as analysis remarks (see VectorizationReport.
             # partial_gather_reasons for the histogram view).
             for reason, count in sorted(reasons.items()):
-                REMARKS.analysis(
+                current_remarks().analysis(
                     "slp",
                     f"partial gather in vectorized graph: {reason}",
                     count=count,
                     **where,
                 )
         else:
-            REMARKS.missed(
+            current_remarks().missed(
                 "slp",
                 f"graph not profitable (cost {graph.total_cost:+.1f} >= "
                 f"{self.config.profitability_threshold:g})",
@@ -627,7 +627,7 @@ class SLPVectorizer:
                 f"leaves={candidate.leaf_count}"
             ):
                 continue
-            with TRACER.span(
+            with current_tracer().span(
                 "slp.reduction", function=function.name, block=block.name,
                 leaves=candidate.leaf_count,
             ):
@@ -637,7 +637,7 @@ class SLPVectorizer:
                 )
             if plan is None:
                 _STAT_REDUCTIONS_REJECTED.add()
-                REMARKS.missed(
+                current_remarks().missed(
                     "reduction",
                     f"no profitable chunking for {candidate.leaf_count} leaves",
                     function=function.name,
@@ -649,7 +649,7 @@ class SLPVectorizer:
             profitable = plan.total_cost < self.config.profitability_threshold
             if profitable:
                 _STAT_REDUCTIONS_VECTORIZED.add()
-                REMARKS.passed(
+                current_remarks().passed(
                     "reduction",
                     f"vectorized {candidate.leaf_count}-leaf reduction at "
                     f"VF={plan.vector_width} (cost {plan.total_cost:+.1f})",
@@ -668,7 +668,7 @@ class SLPVectorizer:
                             self.consumed_ids.add(id(inst))
             else:
                 _STAT_REDUCTIONS_REJECTED.add()
-                REMARKS.missed(
+                current_remarks().missed(
                     "reduction",
                     f"reduction not profitable (cost {plan.total_cost:+.1f} >= "
                     f"{self.config.profitability_threshold:g})",
@@ -721,7 +721,7 @@ class SLPVectorizer:
                 f"leaves={candidate.leaf_count}"
             ):
                 continue
-            with TRACER.span(
+            with current_tracer().span(
                 "slp.minmax", function=function.name, block=block.name,
                 leaves=candidate.leaf_count,
             ):
@@ -731,7 +731,7 @@ class SLPVectorizer:
                 )
             if plan is None:
                 _STAT_MINMAX_REJECTED.add()
-                REMARKS.missed(
+                current_remarks().missed(
                     "minmax",
                     f"no profitable chunking for {candidate.leaf_count}-leaf "
                     f"{candidate.callee} reduction",
@@ -744,7 +744,7 @@ class SLPVectorizer:
             profitable = plan.total_cost < self.config.profitability_threshold
             if profitable:
                 _STAT_MINMAX_VECTORIZED.add()
-                REMARKS.passed(
+                current_remarks().passed(
                     "minmax",
                     f"vectorized {candidate.leaf_count}-leaf {candidate.callee} "
                     f"reduction at VF={plan.vector_width} "
@@ -764,7 +764,7 @@ class SLPVectorizer:
                             self.consumed_ids.add(id(inst))
             else:
                 _STAT_MINMAX_REJECTED.add()
-                REMARKS.missed(
+                current_remarks().missed(
                     "minmax",
                     f"{candidate.callee} reduction not profitable "
                     f"(cost {plan.total_cost:+.1f} >= "

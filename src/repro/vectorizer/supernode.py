@@ -45,7 +45,7 @@ from ..ir.instructions import (
 )
 from ..ir.values import Value
 from ..observe import STAT
-from ..robust.faults import FAULTS
+from ..robust.faults import current_faults
 
 _STAT_CHAINS_GROWN = STAT(
     "supernode.lane-chains-grown", "Lane chains of >= 2 trunks grown"
@@ -484,7 +484,7 @@ def build_lane_chain(
     leaf.  ``allow_inverse=False`` gives LSLP's Multi-Node (commutative
     opcodes only); ``True`` gives the Super-Node.
     """
-    FAULTS.fire("supernode.build-chain")
+    current_faults().fire("supernode.build-chain")
     if not isinstance(root, BinaryInst):
         return None
     family = chain_family_of(root.opcode)

@@ -25,7 +25,7 @@ from repro.fuzz import (
     values_close,
     write_reproducer,
 )
-from repro.fuzz.campaign import FUZZ_STATS, _reduction_predicate
+from repro.fuzz.campaign import _reduction_predicate
 from repro.interp import Interpreter, UnsupportedOpcodeError
 from repro.ir import parse_module, print_module, verify_module
 from repro.ir.instructions import Opcode
@@ -272,12 +272,16 @@ class TestCampaign:
         assert first_stats["fuzz.programs-generated"] == 40
         assert first_stats["fuzz.programs-vectorized"] > 0
 
-    def test_campaign_uses_private_registry(self):
-        # compile_module resets the global STATS registry per compilation;
-        # campaign counters must survive that
+    def test_campaign_uses_private_session(self):
+        # each compilation runs in its own derived session; campaign
+        # bucket counters live in the campaign's session, and neither
+        # leaks into the default (global alias) registry
+        from repro.observe import STATS
+
         result = run_campaign(budget="5", seed=0)
-        assert FUZZ_STATS.snapshot()["fuzz.programs-generated"] == 5
         assert result.stats["fuzz.programs-generated"] == 5
+        assert "fuzz.programs-generated" not in STATS.snapshot()
+        assert "slp.seed-bundles" not in STATS.snapshot()
 
     def test_failure_artifacts_written(self, monkeypatch, tmp_path):
         _flip_addsub_codegen(monkeypatch)

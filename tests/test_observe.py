@@ -139,9 +139,10 @@ class TestStats:
 
     def test_global_stat_shorthand(self):
         handle = STAT("test.observe.scratch")
-        assert "test.observe.scratch" in STATS
-        before = handle.value
+        before = handle.value  # lazy proxy: reads the ambient registry
         handle.add()
+        # materialized in the ambient (default) registry on first use
+        assert "test.observe.scratch" in STATS
         assert STATS.value("test.observe.scratch") == before + 1
         STATS.reset()
 

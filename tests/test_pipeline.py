@@ -28,6 +28,15 @@ class TestCloneModule:
         clone_ids = {id(inst) for inst in clone.function("kernel").instructions()}
         assert original_ids.isdisjoint(clone_ids)
 
+    def test_text_round_trip_clone_agrees_with_structural(self):
+        # via_text exercises the printer and parser against each other;
+        # the structural clone must produce the same module
+        module = kernel_named("motiv-trunk-reorder").build()
+        via_text = clone_module(module, via_text=True)
+        verify_module(via_text)
+        assert print_module(via_text) == print_module(module)
+        assert print_module(via_text) == print_module(clone_module(module))
+
 
 class TestCompileModule:
     def test_input_module_never_mutated(self):
