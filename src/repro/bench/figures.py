@@ -41,16 +41,22 @@ def _suite_runs(
     kernels: List[Kernel],
     target: TargetMachine,
     jobs: Optional[int],
+    journal: bool = False,
 ) -> Dict[str, Dict[str, object]]:
     """One matrix per kernel under the paper configs; ``jobs != 1``
     shards the (kernel, config) pairs over worker processes.  Simulated
-    cycles are deterministic, so both paths return identical data."""
+    cycles are deterministic, so both paths return identical data.
+    ``journal=True`` attaches per-run decision-journal summaries; the
+    default leaves the journal disabled, keeping figure data bit-identical
+    to pre-journal builds."""
     if jobs is not None and jobs != 1:
         from .parallel import run_suite_parallel
 
-        return run_suite_parallel(kernels, PAPER_CONFIGS, target, jobs=jobs)
+        return run_suite_parallel(
+            kernels, PAPER_CONFIGS, target, jobs=jobs, journal=journal
+        )
     return {
-        kernel.name: run_kernel_matrix(kernel, PAPER_CONFIGS, target)
+        kernel.name: run_kernel_matrix(kernel, PAPER_CONFIGS, target, journal=journal)
         for kernel in kernels
     }
 
@@ -61,30 +67,34 @@ def fig5_kernel_speedups(
     kernels: Optional[Sequence[Kernel]] = None,
     target: TargetMachine = DEFAULT_TARGET,
     jobs: Optional[int] = 1,
+    journal: bool = False,
 ) -> List[Row]:
     """Normalized speedup over O3 for each kernel (Figure 5)."""
     kernels = _kernel_set(kernels)
-    suite = _suite_runs(kernels, target, jobs)
+    suite = _suite_runs(kernels, target, jobs, journal=journal)
     rows: List[Row] = []
     for kernel in kernels:
         runs = suite[kernel.name]
         if not all(run.correct for run in runs.values()):
             raise AssertionError(f"{kernel.name}: output mismatch across configs")
-        rows.append(
-            {
-                "kernel": kernel.name,
-                "LSLP": speedup_over(runs, "LSLP"),
-                "SN-SLP": speedup_over(runs, "SN-SLP"),
-                # nested per-config breakdowns land in the JSON twin of the
-                # results file; format_rows skips non-scalar columns
-                "phase_seconds": {
-                    name: runs[name].phase_seconds for name in ("LSLP", "SN-SLP")
-                },
-                "counters": {
-                    name: runs[name].counters for name in ("LSLP", "SN-SLP")
-                },
+        row: Row = {
+            "kernel": kernel.name,
+            "LSLP": speedup_over(runs, "LSLP"),
+            "SN-SLP": speedup_over(runs, "SN-SLP"),
+            # nested per-config breakdowns land in the JSON twin of the
+            # results file; format_rows skips non-scalar columns
+            "phase_seconds": {
+                name: runs[name].phase_seconds for name in ("LSLP", "SN-SLP")
+            },
+            "counters": {
+                name: runs[name].counters for name in ("LSLP", "SN-SLP")
+            },
+        }
+        if journal:
+            row["journal"] = {
+                name: runs[name].journal for name in ("LSLP", "SN-SLP")
             }
-        )
+        rows.append(row)
     rows.append(
         {
             "kernel": "geomean",

@@ -15,8 +15,11 @@ Workers receive *names*, not objects: kernels, programs, configs and
 targets are all resolvable from registries
 (:func:`~repro.kernels.suite.kernel_named` & co.), which keeps the
 pickled payloads tiny and sidesteps the fact that kernel builders are
-closures.  Every worker builds a fresh root session, so nothing in the
-parent's ambient session is consulted or mutated.
+closures.  Every worker builds a fresh root session; when the parent's
+tracer or remark collector is armed, workers arm their own and the
+collected spans/remarks are merged back into the parent session in
+payload order, tagged with the worker's OS pid (one process track per
+worker in the Chrome trace).
 """
 
 from __future__ import annotations
@@ -26,12 +29,20 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..kernels.suite import Kernel, all_kernels, kernel_named
 from ..machine.targets import DEFAULT_TARGET, TargetMachine, target_named
-from ..observe.session import CompilerSession, use_session
+from ..observe.session import CompilerSession, current_session, use_session
 from ..vectorizer.slp import ALL_CONFIGS, O3_CONFIG, SLPConfig, config_named
 from .runner import DEFAULT_SEED, KernelRun, outputs_match, run_kernel_config
 
-#: (kernel_name, config_name, target_name, seed) — everything a worker needs
-PairPayload = Tuple[str, str, str, int]
+#: (kernel_name, config_name, target_name, seed, capture_trace,
+#: capture_remarks, journal) — everything a worker needs.  The three
+#: booleans mirror the parent session's observability configuration so
+#: workers collect the same streams the caller armed.
+PairPayload = Tuple[str, str, str, int, bool, bool, bool]
+
+#: what a worker sends back alongside its KernelRun when the parent asked
+#: for trace spans or remarks: {"pid", "events", "remarks"} — TraceEvent
+#: and Remark are plain dataclasses, so they pickle as-is
+WorkerCapture = Optional[Dict[str, object]]
 
 
 def default_jobs() -> int:
@@ -42,19 +53,57 @@ def _resolve_jobs(jobs: Optional[int]) -> int:
     return default_jobs() if jobs is None else max(1, jobs)
 
 
-def _run_pair(payload: PairPayload) -> KernelRun:
-    """Worker: run one (kernel, config) pair in its own root session."""
-    kernel_name, config_name, target_name, seed = payload
+def _run_pair(payload: PairPayload) -> Tuple[KernelRun, WorkerCapture]:
+    """Worker: run one (kernel, config) pair in its own root session.
+
+    When the parent armed its tracer or remark collector, the worker
+    arms its own and ships the collected streams back for merging
+    (:func:`_merge_capture`); otherwise the capture slot is None and
+    nothing observability-related runs.
+    """
+    kernel_name, config_name, target_name, seed, trace, remarks, journal = payload
     kernel = kernel_named(kernel_name)
     session = CompilerSession(name=f"bench-worker:{kernel_name}/{config_name}")
+    if trace:
+        session.tracer.enable()
+    if remarks:
+        session.remarks.enable()
     with use_session(session):
-        return run_kernel_config(
+        run = run_kernel_config(
             kernel,
             config_named(config_name),
             target_named(target_name),
             seed,
             session=session.derive(),
+            journal=journal,
         )
+    capture: WorkerCapture = None
+    if trace or remarks:
+        capture = {
+            "pid": os.getpid(),
+            "events": list(session.tracer.events),
+            "remarks": list(session.remarks.remarks),
+        }
+    return run, capture
+
+
+def _merge_capture(parent: CompilerSession, capture: WorkerCapture) -> None:
+    """Fold one worker's spans/remarks into the parent session.
+
+    Spans keep their originating worker ``pid`` so the Chrome trace
+    renders one process track per worker; remarks are tagged with
+    ``worker_pid``.  Captures are merged in payload order, so the merged
+    streams are deterministic regardless of completion order.
+    """
+    if capture is None:
+        return
+    pid = int(capture["pid"])
+    for event in capture["events"]:
+        event.pid = pid
+        parent.tracer.events.append(event)
+    for remark in capture["remarks"]:
+        remark.args.setdefault("worker_pid", pid)
+        parent.remarks.remarks.append(remark)
 
 
 def _with_oracle(configs: Sequence[SLPConfig]) -> List[SLPConfig]:
@@ -69,9 +118,12 @@ def _pair_payloads(
     configs: Sequence[SLPConfig],
     target: TargetMachine,
     seed: int,
+    trace: bool,
+    remarks: bool,
+    journal: bool,
 ) -> List[PairPayload]:
     return [
-        (kernel.name, config.name, target.name, seed)
+        (kernel.name, config.name, target.name, seed, trace, remarks, journal)
         for kernel in kernels
         for config in configs
     ]
@@ -120,24 +172,39 @@ def run_suite_parallel(
     target: TargetMachine = DEFAULT_TARGET,
     seed: int = DEFAULT_SEED,
     jobs: Optional[int] = None,
+    journal: bool = False,
 ) -> Dict[str, Dict[str, KernelRun]]:
     """Run every (kernel, config) pair of the suite, sharded over
     processes; returns ``{kernel_name: {config_name: KernelRun}}``.
 
     Results are reassembled in payload order, so the outcome is
-    deterministic regardless of ``jobs`` or completion order.
+    deterministic regardless of ``jobs`` or completion order.  If the
+    *calling* session's tracer or remark collector is enabled, workers
+    arm the same collectors and their spans/remarks are merged back into
+    the caller's session keyed by worker pid (payload order again, so
+    the merged streams are deterministic).  ``journal=True`` attaches a
+    per-run decision-journal summary to each :class:`KernelRun`.
     """
     from concurrent.futures import ProcessPoolExecutor
 
+    parent = current_session()
+    trace = parent.tracer.enabled
+    remarks = parent.remarks.enabled
     kernels = list(kernels) if kernels is not None else all_kernels()
     configs = _with_oracle(configs)
-    payloads = _pair_payloads(kernels, configs, target, seed)
+    payloads = _pair_payloads(
+        kernels, configs, target, seed, trace, remarks, journal
+    )
     jobs = _resolve_jobs(jobs)
     if jobs <= 1 or len(payloads) <= 1:
-        results = [_run_pair(payload) for payload in payloads]
+        outcomes = [_run_pair(payload) for payload in payloads]
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
-            results = list(pool.map(_run_pair, payloads))
+            outcomes = list(pool.map(_run_pair, payloads))
+    results = []
+    for run, capture in outcomes:
+        _merge_capture(parent, capture)
+        results.append(run)
     return _assemble(kernels, configs, results)
 
 

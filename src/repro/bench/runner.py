@@ -45,6 +45,10 @@ class KernelRun:
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     #: statistic counters for this (kernel, config): compile + simulation
     counters: Dict[str, float] = field(default_factory=dict)
+    #: decision-journal summary (see ``summarize_journal``) when the run
+    #: was made with ``journal=True``; None otherwise — the default path
+    #: never touches the journal, keeping bench results bit-identical
+    journal: Optional[Dict[str, object]] = None
 
 
 def outputs_match(kernel: Kernel, got: Dict[str, List], want: Dict[str, List]) -> bool:
@@ -71,16 +75,23 @@ def run_kernel_config(
     target: TargetMachine = DEFAULT_TARGET,
     seed: int = DEFAULT_SEED,
     session: Optional[CompilerSession] = None,
+    journal: bool = False,
 ) -> KernelRun:
     """Compile ``kernel`` under ``config`` and simulate one invocation.
 
     One derived session spans the compile and the simulation, so
     ``KernelRun.counters`` holds this pair's compile counters plus the
-    simulation cycle histogram — and nothing else.
+    simulation cycle histogram — and nothing else.  ``journal=True``
+    records the compile's decision journal into the run's ``journal``
+    summary (a private journal: the caller's is never touched).
     """
     own = session if session is not None else current_session().derive(
         name=f"bench:{kernel.name}/{config.name}"
     )
+    if journal:
+        from ..observe.journal import DecisionJournal
+
+        own.journal = DecisionJournal(enabled=True)
     inputs = kernel.make_inputs(random.Random(seed))
     compiled = compile_module(kernel.build(), config, target, session=own)
     result = simulate(
@@ -107,7 +118,14 @@ def run_kernel_config(
         outputs={name: result.globals_after[name] for name in kernel.output_globals},
         phase_seconds=compiled.phase_seconds,
         counters=counters,
+        journal=_journal_summary(own) if journal else None,
     )
+
+
+def _journal_summary(session: CompilerSession) -> Dict[str, object]:
+    from ..observe.journal import summarize_journal
+
+    return summarize_journal(session.journal.events)
 
 
 def run_kernel_matrix(
@@ -115,6 +133,7 @@ def run_kernel_matrix(
     configs: Sequence[SLPConfig] = ALL_CONFIGS,
     target: TargetMachine = DEFAULT_TARGET,
     seed: int = DEFAULT_SEED,
+    journal: bool = False,
 ) -> Dict[str, KernelRun]:
     """Run ``kernel`` under every configuration; verify against O3.
 
@@ -126,7 +145,7 @@ def run_kernel_matrix(
     if not any(c.name == O3_CONFIG.name for c in configs):
         configs.insert(0, O3_CONFIG)
     runs = {
-        config.name: run_kernel_config(kernel, config, target, seed)
+        config.name: run_kernel_config(kernel, config, target, seed, journal=journal)
         for config in configs
     }
     oracle = runs[O3_CONFIG.name]

@@ -8,6 +8,9 @@ IR, executing on the simulator and comparing configurations::
     python -m repro run kernel.sn --kernel fig3 --n 512
     python -m repro compare kernel.sn --kernel fig3 --n 512
     python -m repro report kernel.sn --config sn-slp
+    python -m repro explain motiv-leaf-reorder --dot graphs/
+    python -m repro bench --json > RESULTS.json
+    python -m repro report RESULTS.json --baseline OLD.json -o report.html
     python -m repro fuzz --budget 30s --seed 0 --out fuzz-artifacts
     python -m repro fuzz --replay fuzz-artifacts/failure-0000/reduced.ir
     python -m repro fuzz --inject --budget 15s
@@ -17,7 +20,10 @@ IR, executing on the simulator and comparing configurations::
 through the fault-isolating driver that degrades instead of crashing;
 ``run`` executes one kernel and dumps the output buffers; ``compare``
 runs every configuration on the same random inputs and reports speedups
-+ correctness; ``report`` shows the SLP graphs the vectorizer built;
++ correctness; ``report`` shows the SLP graphs the vectorizer built —
+or, given a ``repro bench --json`` results file, renders a
+self-contained HTML benchmark report (with ``--baseline`` diffing);
+``explain`` narrates the vectorizer's per-graph decision journal;
 ``fuzz`` runs a differential-testing campaign (or replays a saved
 reproducer, or — with ``--inject`` — injects deterministic faults and
 checks they cannot escape the guard); ``bisect`` localizes the first
@@ -85,11 +91,14 @@ def _resolve_target(name: str):
 
 
 def _configure_observability(args: argparse.Namespace, session: CompilerSession) -> None:
-    """Arm the session's tracer / remark collector before the command runs."""
+    """Arm the session's tracer / remark collector / decision journal
+    before the command runs."""
     if getattr(args, "trace_out", None):
         session.tracer.enable()
     if getattr(args, "remarks", None):
         session.remarks.enable()
+    if getattr(args, "journal", None):
+        session.journal.enable()
 
 
 def _flush_observability(args: argparse.Namespace, session: CompilerSession) -> None:
@@ -109,6 +118,13 @@ def _flush_observability(args: argparse.Namespace, session: CompilerSession) -> 
         session.remarks.write_jsonl(args.remarks)
         print(
             f"; wrote {len(session.remarks.remarks)} remark(s) to {args.remarks}",
+            file=sys.stderr,
+        )
+    if getattr(args, "journal", None):
+        session.journal.write_jsonl(args.journal)
+        print(
+            f"; wrote {len(session.journal.events)} journal event(s) to "
+            f"{args.journal}",
             file=sys.stderr,
         )
     if getattr(args, "stats", False) and not getattr(args, "_stats_printed", False):
@@ -389,7 +405,152 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _load_module_or_kernel(source: str) -> Module:
+    """Resolve an ``explain`` source: a file path, or a registered
+    benchmark kernel name (``repro explain fig3-trunk-reorder``)."""
+    import os
+
+    if os.path.exists(source) or os.sep in source:
+        return _load_module(source)
+    from .kernels.suite import kernel_named
+
+    try:
+        return kernel_named(source).build()
+    except KeyError:
+        _usage(
+            f"{source}: no such file, and no benchmark kernel is "
+            "registered under that name"
+        )
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .observe.explain import explain_module, render_stories
+
+    module = _load_module_or_kernel(args.source)
+    config = _resolve_config(args.config)
+    target = _resolve_target(args.target)
+    if args.function:
+        try:
+            module.function(args.function)
+        except KeyError as exc:
+            _usage(str(exc.args[0]) if exc.args else str(exc))
+    result = explain_module(
+        module, config, target,
+        unroll_factor=args.unroll, session=current_session(),
+    )
+    # surface the explain run's private journal through --journal FILE
+    current_session().journal.events.extend(result.session.journal.events)
+    stories = result.stories
+    if args.function:
+        stories = [s for s in stories if s.function == args.function]
+    if args.dot:
+        os.makedirs(args.dot, exist_ok=True)
+        written = 0
+        for story in stories:
+            for name, text in sorted(story.dots().items()):
+                path = os.path.join(
+                    args.dot, f"graph{story.graph_id}-{name}.dot"
+                )
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                written += 1
+        print(f"; wrote {written} DOT file(s) to {args.dot}", file=sys.stderr)
+    if args.json:
+        doc = result.to_json()
+        if args.function:
+            doc["graphs"] = [
+                g for g in doc["graphs"] if g["function"] == args.function
+            ]
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_stories(stories, verbose=args.verbose), end="")
+    return EXIT_OK
+
+
+def _report_html(args: argparse.Namespace) -> int:
+    """``repro report RESULTS.json``: render the HTML benchmark report."""
+    import json
+
+    from .observe.report_html import load_results, regressions, write_report
+
+    try:
+        doc = load_results(args.source)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        _usage(f"cannot load {args.source}: {exc}")
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = load_results(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            _usage(f"cannot load baseline {args.baseline}: {exc}")
+    deltas = write_report(
+        args.output,
+        doc,
+        baseline=baseline,
+        dots=_worst_miss_dots(doc, args.dot_worst),
+        title=f"SLP benchmark report ({doc.get('target', '?')})",
+    )
+    print(f"; wrote HTML report to {args.output}", file=sys.stderr)
+    bad = regressions(deltas)
+    for delta in deltas:
+        print(f"; {delta.describe()}", file=sys.stderr)
+    if bad:
+        print(
+            f"repro: report: {len(bad)} regression(s) against "
+            f"{args.baseline}",
+            file=sys.stderr,
+        )
+        return EXIT_MISMATCH
+    return EXIT_OK
+
+
+def _worst_miss_dots(doc, limit: int):
+    """DOT sources for the worst-performing kernels' SLP graphs.
+
+    Re-explains the ``limit`` registered kernels with the lowest SN-SLP
+    speedup; best-effort — a kernel that is not registered (or fails to
+    recompile) is silently skipped, never failing the report.
+    """
+    if not limit:
+        return {}
+    from .kernels.suite import kernel_named
+    from .observe.explain import explain_module
+    from .vectorizer import config_named
+
+    ranked = sorted(
+        (
+            run
+            for run in doc.get("runs", [])
+            if run.get("config") == "SN-SLP" and run.get("speedup") is not None
+        ),
+        key=lambda run: float(run["speedup"]),
+    )
+    dots = {}
+    for run in ranked[:limit]:
+        try:
+            kernel = kernel_named(str(run["kernel"]))
+            explained = explain_module(
+                kernel.build(), config_named("SN-SLP"),
+                session=current_session(),
+            )
+        except Exception:  # noqa: BLE001 - decorative section only
+            continue
+        for story in explained.stories:
+            dot = story.dots().get("graph")
+            if dot:
+                dots[
+                    f"{run['kernel']} graph #{story.graph_id} "
+                    f"({story.verdict})"
+                ] = dot
+    return dots
+
+
 def cmd_report(args: argparse.Namespace) -> int:
+    if args.source.endswith(".json"):
+        return _report_html(args)
     module = _load_module(args.source)
     config = _resolve_config(args.config)
     target = _resolve_target(args.target)
@@ -534,7 +695,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         except KeyError as exc:
             _usage(str(exc.args[0]) if exc.args else str(exc))
     jobs = args.jobs if args.jobs is not None else default_jobs()
-    suite = run_suite_parallel(kernels, target=target, seed=args.seed, jobs=jobs)
+    suite = run_suite_parallel(
+        kernels, target=target, seed=args.seed, jobs=jobs,
+        journal=args.journal_summary,
+    )
     exit_code = EXIT_OK
     rows: List[Dict] = []
     if not args.json:
@@ -547,16 +711,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
             speedup = speedup_over(runs, config_name)
             if not run.correct:
                 exit_code = EXIT_MISMATCH
-            rows.append(
-                {
-                    "kernel": kernel_name,
-                    "config": config_name,
-                    "cycles": run.cycles,
-                    "speedup": speedup,
-                    "correct": run.correct,
-                    "counters": run.counters,
-                }
-            )
+            row: Dict = {
+                "kernel": kernel_name,
+                "config": config_name,
+                "cycles": run.cycles,
+                "speedup": speedup,
+                "correct": run.correct,
+                "vectorized_graphs": run.vectorized_graphs,
+                "attempted_graphs": run.attempted_graphs,
+                "phase_seconds": run.phase_seconds,
+                "counters": run.counters,
+            }
+            if run.journal is not None:
+                row["journal"] = run.journal
+            rows.append(row)
             if not args.json:
                 print(
                     f"{kernel_name:24s} {config_name:8s} {run.cycles:12.1f} "
@@ -647,6 +815,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="write a Chrome trace-event JSON file (LLVM -ftime-trace)",
         )
         p.add_argument(
+            "--journal",
+            metavar="FILE",
+            help="write the vectorizer's decision journal as JSONL to FILE",
+        )
+        p.add_argument(
             "-v",
             "--verbose",
             action="store_true",
@@ -716,9 +889,94 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_compare.set_defaults(fn=cmd_compare)
 
-    p_report = sub.add_parser("report", help="show the vectorizer's SLP graphs")
+    p_report = sub.add_parser(
+        "report",
+        help="show the vectorizer's SLP graphs, or render an HTML "
+        "benchmark report from a bench JSON file",
+    )
     common(p_report)
+    p_report.add_argument(
+        "--baseline",
+        metavar="OLD.json",
+        help="bench JSON to diff against (JSON mode); cycle/counter "
+        f"regressions exit with code {EXIT_MISMATCH}",
+    )
+    p_report.add_argument(
+        "-o",
+        "--output",
+        default="report.html",
+        metavar="FILE",
+        help="HTML output path for JSON mode (default: report.html)",
+    )
+    p_report.add_argument(
+        "--dot-worst",
+        type=int,
+        default=2,
+        metavar="N",
+        help="embed SLP graph DOT for the N slowest kernels (0 disables)",
+    )
     p_report.set_defaults(fn=cmd_report)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="narrate the vectorizer's per-graph decisions "
+        "(seeds, look-ahead picks, APO reorders, cost verdicts)",
+    )
+    p_explain.add_argument(
+        "source",
+        help="kernel-language source file, textual IR (*.ir), or a "
+        "registered benchmark kernel name",
+    )
+    p_explain.add_argument(
+        "--function",
+        metavar="F",
+        help="only narrate graphs inside function F",
+    )
+    p_explain.add_argument(
+        "--config",
+        default="SN-SLP",
+        help="vectorizer configuration: O3, SLP, LSLP, SN-SLP",
+    )
+    p_explain.add_argument(
+        "--target",
+        default=DEFAULT_TARGET.name,
+        help="target machine (skylake-like, sse4-like, no-addsub, scalar)",
+    )
+    p_explain.add_argument(
+        "--unroll",
+        type=int,
+        default=0,
+        metavar="U",
+        help="unroll canonical loops by U before vectorizing",
+    )
+    p_explain.add_argument(
+        "--dot",
+        metavar="DIR",
+        help="write per-graph DOT files (chains before/after reorder, "
+        "final SLP graph) under DIR",
+    )
+    p_explain.add_argument(
+        "--json",
+        action="store_true",
+        help="print the stories as a structured JSON document",
+    )
+    p_explain.add_argument(
+        "--journal",
+        metavar="FILE",
+        help="also write the raw decision-journal JSONL to FILE",
+    )
+    p_explain.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the statistic counter table on stderr (LLVM -stats)",
+    )
+    p_explain.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="include each graph's textual dump in the narration",
+    )
+    p_explain.set_defaults(fn=cmd_explain)
 
     # fuzz generates its own programs — no positional source argument
     p_fuzz = sub.add_parser(
@@ -814,6 +1072,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="print a structured JSON document instead of the table",
+    )
+    p_bench.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write a Chrome trace-event JSON file; spans from worker "
+        "processes are merged in, one process track per worker",
+    )
+    p_bench.add_argument(
+        "--remarks",
+        metavar="FILE",
+        help="write optimization remarks as JSONL to FILE (worker remarks "
+        "are merged in, tagged with worker_pid)",
+    )
+    p_bench.add_argument(
+        "--journal-summary",
+        action="store_true",
+        help="attach a decision-journal summary to every run (JSON mode); "
+        "off by default so bench results stay bit-identical",
     )
     p_bench.set_defaults(fn=cmd_bench)
 

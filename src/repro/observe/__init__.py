@@ -9,15 +9,26 @@ The LLVM-style introspection triple for this Python compiler:
 * :mod:`repro.observe.remarks` — structured passed/missed/analysis
   optimization remarks serialized as JSONL (``-Rpass`` /
   ``-fsave-optimization-record``);
+* :mod:`repro.observe.journal` — the decision journal: typed per-graph
+  vectorizer decision events (seeds, look-ahead scores, APO reorders,
+  cost verdicts) that power ``repro explain``;
 * :mod:`repro.observe.session` — :class:`CompilerSession`, the explicit
-  bundle of all three that makes compilation reentrant.  Each
+  bundle of all of the above that makes compilation reentrant.  Each
   compilation runs in its own derived session, so counters are isolated
   without any global reset and compilations can run concurrently.
 
-All three are off (or free) by default: the tracer and remark collector
-cost one branch per call site while disabled, and counters are plain
-attribute increments.  The CLI's ``--trace-out``, ``--stats`` and
-``--remarks`` flags switch them on for the command's session.
+All of these are off (or free) by default: the tracer, remark collector
+and journal cost one branch per call site while disabled, and counters
+are plain attribute increments.  The CLI's ``--trace-out``, ``--stats``,
+``--remarks`` and ``--journal`` flags switch them on for the command's
+session.
+
+The renderers that *consume* this data — :mod:`repro.observe.dot`
+(SLP graph DOT/JSON dumps), :mod:`repro.observe.explain` (per-graph
+narratives) and :mod:`repro.observe.report_html` (single-file bench
+reports) — are deliberately not re-exported here: they reach into
+``repro.vectorizer``, and importing them at package init would create a
+cycle (the vectorizer imports ``repro.observe`` for ``STAT``).
 
 ``STATS`` / ``TRACER`` / ``REMARKS`` remain importable as deprecated
 aliases of the *default* session's components (see
@@ -27,12 +38,20 @@ aliases of the *default* session's components (see
 from .trace import TraceEvent, Tracer
 from .stats import STAT, STAT_CATALOG, StatProxy, Statistic, StatsRegistry
 from .remarks import REMARK_KINDS, Remark, RemarkCollector, load_remarks
+from .journal import (
+    EVENT_KINDS,
+    DecisionJournal,
+    JournalEvent,
+    load_journal,
+    summarize_journal,
+)
 from .session import (
     DEFAULT_SESSION,
     REMARKS,
     STATS,
     TRACER,
     CompilerSession,
+    current_journal,
     current_remarks,
     current_session,
     current_stats,
@@ -55,11 +74,17 @@ __all__ = [
     "Remark",
     "RemarkCollector",
     "load_remarks",
+    "EVENT_KINDS",
+    "DecisionJournal",
+    "JournalEvent",
+    "load_journal",
+    "summarize_journal",
     "CompilerSession",
     "DEFAULT_SESSION",
     "current_session",
     "current_stats",
     "current_tracer",
     "current_remarks",
+    "current_journal",
     "use_session",
 ]

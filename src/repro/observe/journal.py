@@ -1,0 +1,239 @@
+"""Decision journal — typed, session-scoped vectorizer decision events.
+
+Counters say *how often* the vectorizer did something; remarks say *what*
+it decided; the journal records *why*: every seed bundle found or
+rejected, every look-ahead score matrix, every APO leaf/trunk reorder
+that legalized a group, every Super-Node formation, and every cost-model
+verdict, in the order the vectorizer made them.  ``repro explain``
+(:mod:`repro.observe.explain`) renders the stream as a per-graph
+narrative, and the DOT snapshots embedded in "graph"/"supernode" events
+power the visualizations (:mod:`repro.observe.dot`).
+
+The journal follows the same cost contract as the tracer and the remark
+collector: :meth:`DecisionJournal.emit` is a single branch while
+disabled, so the vectorizer's hot paths pay one attribute test per
+decision point when nobody is watching.  Each event carries the graph id
+assigned by :meth:`DecisionJournal.begin_graph` plus the ambient
+function/block/seed-kind context, so deep emit sites (the reorder pass,
+the cost model) need no explicit context threading.
+
+Events serialize to JSONL (one event per line, like remarks) via
+:meth:`DecisionJournal.to_jsonl` / :func:`load_journal`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .stats import STAT
+
+STAT_EVENTS = STAT("journal.events-recorded", "decision journal events recorded")
+
+#: the decision-event vocabulary, in rough pipeline order:
+#:
+#: * ``seed``          — a seed bundle entered the worklist (adjacent
+#:                       stores, a reduction chain, a min/max idiom)
+#: * ``seed-rejected`` — a candidate seed was discarded before building
+#:                       a graph, with the reason
+#: * ``supernode``     — chain massaging grouped commutative trunks into
+#:                       a Super-Node; args carry per-lane APO strings
+#:                       and a before-reorder DOT snapshot
+#: * ``lookahead``     — the look-ahead scorer ranked candidate operand
+#:                       groups at one operand index (the score matrix)
+#: * ``group``         — the winning group was locked in, with the APO
+#:                       leaf/trunk swaps that legalized each lane
+#: * ``reorder``       — reordering finished for a Super-Node; args
+#:                       carry totals and the after-reorder DOT snapshot
+#: * ``graph``         — an SLP graph was fully built (node/gather
+#:                       counts, dump, DOT)
+#: * ``cost``          — the cost model's verdict with the
+#:                       scalar/vector/extract breakdown
+#: * ``undo``          — emitted vector code was rolled back (cost
+#:                       rejection or codegen failure)
+EVENT_KINDS = (
+    "seed",
+    "seed-rejected",
+    "supernode",
+    "lookahead",
+    "group",
+    "reorder",
+    "graph",
+    "cost",
+    "undo",
+)
+
+
+@dataclass
+class JournalEvent:
+    """One recorded decision."""
+
+    kind: str  # one of EVENT_KINDS
+    message: str
+    #: journal-assigned id tying the event to one graph attempt; -1 for
+    #: events outside any attempt
+    graph_id: int = -1
+    function: str = ""
+    block: str = ""
+    #: what seeded the attempt: "store", "reduction", "minmax"
+    seed: str = ""
+    args: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "kind": self.kind,
+            "message": self.message,
+            "graph_id": self.graph_id,
+        }
+        if self.function:
+            record["function"] = self.function
+        if self.block:
+            record["block"] = self.block
+        if self.seed:
+            record["seed"] = self.seed
+        if self.args:
+            record["args"] = self.args
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "JournalEvent":
+        return cls(
+            kind=str(record["kind"]),
+            message=str(record["message"]),
+            graph_id=int(record.get("graph_id", -1)),
+            function=str(record.get("function", "")),
+            block=str(record.get("block", "")),
+            seed=str(record.get("seed", "")),
+            args=dict(record.get("args", {})),  # type: ignore[arg-type]
+        )
+
+
+class DecisionJournal:
+    """Accumulates :class:`JournalEvent`\\ s for one session.
+
+    ``begin_graph``/``end_graph`` bracket one graph attempt: they assign
+    an incrementing graph id and stash the function/block/seed-kind
+    context so every :meth:`emit` between them is tagged automatically.
+    Attempts never nest (the vectorizer tries one seed at a time), so a
+    plain current-attempt slot suffices.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.events: List[JournalEvent] = []
+        self._next_graph_id = 0
+        self._graph_id = -1
+        self._function = ""
+        self._block = ""
+        self._seed = ""
+
+    # -- attempt context ---------------------------------------------------
+
+    def begin_graph(self, function: str = "", block: str = "", seed: str = "") -> int:
+        """Open a graph attempt; subsequent emits inherit its context."""
+        self._graph_id = self._next_graph_id
+        self._next_graph_id += 1
+        self._function = function
+        self._block = block
+        self._seed = seed
+        return self._graph_id
+
+    def end_graph(self) -> None:
+        self._graph_id = -1
+        self._function = ""
+        self._block = ""
+        self._seed = ""
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self, kind: str, message: str, **args: object) -> Optional[JournalEvent]:
+        if not self.enabled:
+            return None
+        assert kind in EVENT_KINDS, kind
+        event = JournalEvent(
+            kind=kind,
+            message=message,
+            graph_id=self._graph_id,
+            function=self._function,
+            block=self._block,
+            seed=self._seed,
+            args=args,
+        )
+        self.events.append(event)
+        STAT_EVENTS.add()
+        return event
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self.events.clear()
+        self._next_graph_id = 0
+        self.end_graph()
+
+    # -- queries -----------------------------------------------------------
+
+    def of_kind(self, kind: str) -> List[JournalEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def for_graph(self, graph_id: int) -> List[JournalEvent]:
+        return [event for event in self.events if event.graph_id == graph_id]
+
+    def graph_ids(self) -> List[int]:
+        """Distinct graph ids in first-appearance (attempt) order."""
+        seen: List[int] = []
+        for event in self.events:
+            if event.graph_id >= 0 and event.graph_id not in seen:
+                seen.append(event.graph_id)
+        return seen
+
+    # -- JSONL serialization ----------------------------------------------
+
+    def to_jsonl(self) -> str:
+        return "".join(
+            json.dumps(event.to_dict(), sort_keys=True) + "\n"
+            for event in self.events
+        )
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl())
+
+
+def load_journal(path: str) -> List[JournalEvent]:
+    """Parse a journal JSONL file back into :class:`JournalEvent` objects."""
+    events: List[JournalEvent] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(JournalEvent.from_dict(json.loads(line)))
+    return events
+
+
+def summarize_journal(events: List[JournalEvent]) -> Dict[str, object]:
+    """A compact aggregate of a journal stream, suitable for attaching to
+    bench-result JSON rows: per-kind event counts plus the accept/reject
+    tallies of the cost-model verdicts."""
+    kinds: Dict[str, int] = {}
+    accepted = rejected = 0
+    for event in events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        if event.kind == "cost":
+            if event.args.get("verdict") == "profitable":
+                accepted += 1
+            else:
+                rejected += 1
+    return {
+        "events": len(events),
+        "kinds": dict(sorted(kinds.items())),
+        "graphs": len({e.graph_id for e in events if e.graph_id >= 0}),
+        "cost_accepted": accepted,
+        "cost_rejected": rejected,
+    }

@@ -55,13 +55,15 @@ import contextvars
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
+from .journal import DecisionJournal
 from .remarks import RemarkCollector
 from .stats import StatsRegistry
 from .trace import Tracer
 
 
 class CompilerSession:
-    """One observability scope: stats + remarks + tracer (+ faults, seed).
+    """One observability scope: stats + remarks + tracer + journal
+    (+ faults, seed).
 
     ``faults`` is an opaque slot deliberately untyped here: the fault
     registry lives in :mod:`repro.robust.faults`, which imports this
@@ -69,7 +71,7 @@ class CompilerSession:
     lazily by ``robust.faults.current_faults()`` on first use.
     """
 
-    __slots__ = ("name", "stats", "remarks", "tracer", "faults", "seed")
+    __slots__ = ("name", "stats", "remarks", "tracer", "journal", "faults", "seed")
 
     def __init__(
         self,
@@ -77,6 +79,7 @@ class CompilerSession:
         stats: Optional[StatsRegistry] = None,
         remarks: Optional[RemarkCollector] = None,
         tracer: Optional[Tracer] = None,
+        journal: Optional[DecisionJournal] = None,
         faults: object = None,
         seed: Optional[int] = None,
     ) -> None:
@@ -84,6 +87,7 @@ class CompilerSession:
         self.stats = stats if stats is not None else StatsRegistry()
         self.remarks = remarks if remarks is not None else RemarkCollector()
         self.tracer = tracer if tracer is not None else Tracer()
+        self.journal = journal if journal is not None else DecisionJournal()
         self.faults = faults
         self.seed = seed
 
@@ -93,19 +97,23 @@ class CompilerSession:
         fresh_stats: bool = True,
         fresh_remarks: bool = False,
     ) -> "CompilerSession":
-        """A child session sharing this session's tracer/remarks/faults.
+        """A child session sharing this session's
+        tracer/remarks/journal/faults.
 
         ``fresh_stats=True`` (the default) gives the child its own
         counter registry — the isolation ``compile_module`` relies on.
         ``fresh_remarks=True`` additionally gives it a private remark
         collector (used by bundle/artifact writers that must not leak
-        remarks into the caller's stream).
+        remarks into the caller's stream).  The decision journal is
+        always shared: like remarks, journal events are a narrative the
+        *caller* reads after the fact.
         """
         return CompilerSession(
             name=name or f"{self.name}.child",
             stats=StatsRegistry() if fresh_stats else self.stats,
             remarks=RemarkCollector() if fresh_remarks else self.remarks,
             tracer=self.tracer,
+            journal=self.journal,
             faults=self.faults,
             seed=self.seed,
         )
@@ -150,6 +158,10 @@ def current_tracer() -> Tracer:
 
 def current_remarks() -> RemarkCollector:
     return current_session().remarks
+
+
+def current_journal() -> DecisionJournal:
+    return current_session().journal
 
 
 # -- deprecated singleton aliases (the shim) ---------------------------------

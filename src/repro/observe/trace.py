@@ -35,6 +35,9 @@ class TraceEvent:
     duration_ns: int
     depth: int
     args: Dict[str, object] = field(default_factory=dict)
+    #: originating OS process, for spans merged in from ProcessPool
+    #: workers (repro.bench.parallel); 0 means "this process"
+    pid: int = 0
 
     @property
     def end_ns(self) -> int:
@@ -136,7 +139,9 @@ class Tracer:
 
         Complete ("X") events with microsecond timestamps; ``tid`` carries
         the nesting depth so the viewer renders one row per level even
-        though everything ran on one thread.
+        though everything ran on one thread.  Spans merged in from
+        ProcessPool workers keep their worker ``pid``, so a parallel
+        benchmark renders one process track per worker.
         """
         trace_events: List[Dict[str, object]] = []
         for event in self.events:
@@ -145,7 +150,7 @@ class Tracer:
                 "ph": "X",
                 "ts": event.start_ns / 1000.0,
                 "dur": event.duration_ns / 1000.0,
-                "pid": 1,
+                "pid": event.pid or 1,
                 "tid": 1,
             }
             if event.args:

@@ -35,7 +35,7 @@ from ..ir.parser import parse_module
 from ..ir.printer import print_module
 from ..machine.targets import DEFAULT_TARGET, TargetMachine
 from ..observe import STAT
-from ..observe.session import CompilerSession
+from ..observe.session import CompilerSession, current_session
 from .pipeline import CompilationResult, compile_module
 from .report import FunctionReport, GraphReport, VectorizationReport
 from .reorder import SuperNodeRecord
@@ -225,22 +225,40 @@ def cached_compile_module(
     """:func:`compile_module`, memoized through ``cache``.
 
     ``cache=None`` degrades to a plain compile.  On a hit the stored
-    result is rehydrated and ``cache.hits`` is bumped in the ambient
-    session; on a miss the module is compiled normally (into ``session``
-    or an ephemeral child, exactly as ``compile_module`` would) and the
-    result is stored before being returned.
+    result is rehydrated, ``cache.hits`` is bumped, the stored counter
+    snapshot is replayed into the target session (so a hit accumulates
+    the same counters a compile into that session would have), and a
+    ``cache_hit`` analysis remark records the key and snapshot — cached
+    compiles are distinguishable from cold ones instead of silently
+    skipping the pipeline.  On a miss the module is compiled normally
+    (into ``session`` or an ephemeral child, exactly as
+    ``compile_module`` would) and the result is stored before being
+    returned.
     """
     if cache is None:
         return compile_module(
             module, config, target,
             verify=verify, unroll_factor=unroll_factor, session=session,
         )
+    target_session = session if session is not None else current_session()
     key = cache_key(module, config, target, unroll_factor)
     cached = cache.lookup(key)
     if cached is not None:
-        STAT_HITS.add()
+        STAT_HITS.resolve(target_session.stats).add()
+        for name, value in sorted(cached.counters.items()):
+            target_session.stats.stat(name).add(value)
+        target_session.remarks.analysis(
+            "cache",
+            f"cache_hit: replayed {config.name}/{target.name} compile of "
+            f"module {module.name} from key {key[:12]}",
+            key=key,
+            config=config.name,
+            target=target.name,
+            unroll=unroll_factor,
+            counters=dict(cached.counters),
+        )
         return cached
-    STAT_MISSES.add()
+    STAT_MISSES.resolve(target_session.stats).add()
     result = compile_module(
         module, config, target,
         verify=verify, unroll_factor=unroll_factor, session=session,

@@ -58,14 +58,27 @@ def _vector_cost(node: SLPNode, model: CostModel) -> float:
 
 
 def compute_graph_cost(graph: SLPGraph, model: CostModel) -> float:
-    """Assign per-node costs and the graph total; returns the total."""
+    """Assign per-node costs and the graph total; returns the total.
+
+    Also stashes the scalar/vector/extract breakdown on the graph (gather
+    materialization counts as vector-side cost) for the decision journal;
+    the total itself is accumulated node by node exactly as before, so
+    the profitability verdict is unchanged by the bookkeeping.
+    """
     internal: Set[int] = graph.internal_instruction_ids()
     total = 0.0
+    scalar_total = 0.0
+    vector_total = 0.0
     for node in graph.nodes:
         if node.kind is NodeKind.GATHER:
             node.cost = _gather_cost(node, model)
+            vector_total += node.cost
         else:
-            node.cost = _vector_cost(node, model) - _scalar_sum(node, model)
+            vector_side = _vector_cost(node, model)
+            scalar_side = _scalar_sum(node, model)
+            node.cost = vector_side - scalar_side
+            vector_total += vector_side
+            scalar_total += scalar_side
         total += node.cost
 
     # Extract penalties: vectorized scalars still demanded by code outside
@@ -80,6 +93,9 @@ def compute_graph_cost(graph: SLPGraph, model: CostModel) -> float:
             if any(id(user) not in internal for user in value.unique_users()):
                 extract_total += model.extract_cost
     total += extract_total
+    graph.scalar_cost = scalar_total
+    graph.vector_cost = vector_total
+    graph.extract_cost = extract_total
     graph.total_cost = total
     return total
 

@@ -47,6 +47,9 @@ class SLPNode:
     cost: float = 0.0
     #: vector value produced by codegen
     vector_value: Optional[Value] = None
+    #: lanes were re-emitted by a Multi-/Super-Node's generateCode (the
+    #: DOT renderer draws these bundles inside the grouping box)
+    from_supernode: bool = False
 
     @property
     def num_lanes(self) -> int:
@@ -78,6 +81,11 @@ class SLPGraph:
     supernodes: List[SuperNodeRecord] = field(default_factory=list)
     #: total cost (negative = profitable), filled by the cost phase
     total_cost: float = 0.0
+    #: cost breakdown (total = vector - scalar + extract), filled by the
+    #: cost phase for the decision journal and ``repro explain``
+    scalar_cost: float = 0.0
+    vector_cost: float = 0.0
+    extract_cost: float = 0.0
 
     def vectorizable_nodes(self) -> List[SLPNode]:
         return [n for n in self.nodes if n.is_vectorizable]

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..ir.builder import IRBuilder
 from ..ir.instructions import BinaryInst, Instruction, Opcode
 from ..ir.values import Value
-from ..observe import STAT
+from ..observe import STAT, current_journal
 from ..robust.faults import current_faults
 from .lookahead import LookAheadScorer
 from .supernode import LaneChain, Leaf, Slot, TrunkUnit, build_lane_chain
@@ -176,6 +176,7 @@ class SuperNode:
         group was applied.  ``visit_root_first=False`` reverses the operand
         visit order (used by the ablation benchmark)."""
         current_faults().fire("reorder.reorder")
+        journal = current_journal()
         applied = 0
         # Applied-move statistics are measured as deltas over the chains'
         # own counters: failed placements restore them (place_leaf is
@@ -205,9 +206,44 @@ class SuperNode:
                 }
                 for lane in range(self.num_lanes)
             ]
-            group = self._find_best_group(op_index, scorer, locked, used, placeable)
+            scored: Optional[List[Tuple[List[Value], int]]] = (
+                [] if journal.enabled else None
+            )
+            group = self._find_best_group(
+                op_index, scorer, locked, used, placeable, scored
+            )
+            if journal.enabled and scored:
+                # The look-ahead score matrix for this operand index: one
+                # row per Lane-0 candidate, ranked best-first.
+                ranked = sorted(
+                    enumerate(scored), key=lambda pair: (-pair[1][1], pair[0])
+                )
+                best_refs = [v.ref() for v in ranked[0][1][0]]
+                best_score = ranked[0][1][1]
+                runner_up = ranked[1][1][1] if len(ranked) > 1 else None
+                versus = f" vs {runner_up}" if runner_up is not None else ""
+                journal.emit(
+                    "lookahead",
+                    f"look-ahead picked {{{', '.join(best_refs)}}} at operand "
+                    f"{op_index} (score {best_score}{versus})",
+                    op_index=op_index,
+                    best_score=best_score,
+                    runner_up_score=runner_up,
+                    matrix=[
+                        {"group": [v.ref() for v in grp], "score": score}
+                        for _, (grp, score) in ranked
+                    ],
+                )
             if group is None:
                 _STAT_GROUPS_FAILED.add()
+                if journal.enabled:
+                    journal.emit(
+                        "group",
+                        f"no legal group at operand {op_index}; lanes left "
+                        f"as-is",
+                        op_index=op_index,
+                        applied=False,
+                    )
                 # No legal group: leave the lanes as they are for this
                 # operand index, but lock whatever currently sits there so
                 # later indexes cannot disturb it.
@@ -217,6 +253,14 @@ class SuperNode:
                     locked[lane][slot] = value
                     used[lane].add(id(value))
                 continue
+            moves_before = (
+                [
+                    (c.leaf_swaps_applied, c.trunk_swaps_applied)
+                    for c in self.chains
+                ]
+                if journal.enabled
+                else None
+            )
             for lane, leaf in enumerate(group):
                 chain = self.chains[lane]
                 slot = chain.slots()[op_index]
@@ -227,6 +271,32 @@ class SuperNode:
                 used[lane].add(id(leaf))
             applied += 1
             _STAT_GROUPS_APPLIED.add()
+            if journal.enabled and moves_before is not None:
+                legalized: List[str] = []
+                lane_moves: List[Dict[str, int]] = []
+                for lane, chain in enumerate(self.chains):
+                    leaf_delta = chain.leaf_swaps_applied - moves_before[lane][0]
+                    trunk_delta = (
+                        chain.trunk_swaps_applied - moves_before[lane][1]
+                    )
+                    lane_moves.append(
+                        {"lane": lane, "leaf_swaps": leaf_delta,
+                         "trunk_swaps": trunk_delta}
+                    )
+                    if trunk_delta:
+                        legalized.append(f"trunk swap legalized lane {lane}")
+                    elif leaf_delta:
+                        legalized.append(f"leaf swap legalized lane {lane}")
+                detail = f"; {', '.join(legalized)}" if legalized else ""
+                journal.emit(
+                    "group",
+                    f"locked group {{{', '.join(v.ref() for v in group)}}} at "
+                    f"operand {op_index}{detail}",
+                    op_index=op_index,
+                    applied=True,
+                    group=[v.ref() for v in group],
+                    lane_moves=lane_moves,
+                )
         _STAT_LEAF_MOVES.add(
             sum(c.leaf_swaps_applied for c in self.chains) - leaf_moves_before
         )
@@ -242,8 +312,13 @@ class SuperNode:
         locked: List[Dict[Slot, Value]],
         used: List[Set[int]],
         placeable: List[Dict[int, bool]],
+        scored: Optional[List[Tuple[List[Value], int]]] = None,
     ) -> Optional[List[Value]]:
-        """Try every legal Lane-0 candidate; keep the best-scoring group."""
+        """Try every legal Lane-0 candidate; keep the best-scoring group.
+
+        ``scored`` (journal support) collects every candidate group with
+        its look-ahead score — the score matrix behind the decision.
+        """
         best_group: Optional[List[Value]] = None
         best_score = -1
         for candidate in self._candidates(0, used):
@@ -253,6 +328,8 @@ class SuperNode:
             if group is None:
                 continue
             score = scorer.score_group(group)
+            if scored is not None:
+                scored.append((group, score))
             if score > best_score:
                 best_score = score
                 best_group = group

@@ -30,8 +30,16 @@ class GraphReport:
     #: "store" for adjacent-store seeded graphs, "reduction" for
     #: horizontal reductions (-slp-vectorize-hor)
     kind: str = "store"
-    #: why gather nodes could not vectorize (optimization-remark style)
+    #: why gather nodes could not vectorize (optimization-remark style);
+    #: normalized in ``__post_init__`` to a sorted, deduplicated list so
+    #: remark output is deterministic and usable as a golden baseline
     gather_reasons: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # One entry per distinct reason: the histograms below count
+        # *graphs affected*, not gather-node multiplicity, and the stable
+        # order makes JSONL remark dumps byte-identical across runs.
+        self.gather_reasons = sorted(set(self.gather_reasons))
 
 
 @dataclass
@@ -86,7 +94,9 @@ class VectorizationReport:
 
     def missed_reasons(self, include_vectorized: bool = False) -> Dict[str, int]:
         """Histogram of gather reasons across non-vectorized graphs — the
-        optimization-remark view of what blocked vectorization.
+        optimization-remark view of what blocked vectorization.  Counts
+        are *graphs affected* per reason (``gather_reasons`` is
+        deduplicated per graph), which keeps the output deterministic.
 
         ``include_vectorized=True`` also counts gather reasons from graphs
         that *did* vectorize: those partial gathers did not block the graph
@@ -103,8 +113,9 @@ class VectorizationReport:
         )
 
     def partial_gather_reasons(self) -> Dict[str, int]:
-        """Histogram of gather reasons inside *vectorized* graphs only:
-        lanes that were gathered even though the graph was profitable."""
+        """Histogram of gather reasons inside *vectorized* graphs only
+        (graphs affected per reason): bundles that were gathered even
+        though the graph was profitable."""
         histogram: Dict[str, int] = {}
         for graph in self.vectorized_graphs():
             for reason in graph.gather_reasons:

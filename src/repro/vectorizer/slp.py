@@ -34,7 +34,8 @@ from ..ir.module import Module
 from ..ir.types import VectorType, vector_of
 from ..ir.values import Value
 from ..machine.targets import TargetMachine
-from ..observe import STAT, current_remarks, current_tracer
+from ..observe import STAT, current_journal, current_remarks, current_tracer
+from ..observe.dot import chains_to_dot, graph_to_dot
 from ..robust.bisect import BISECT
 from .codegen import emit_vector_code
 from .cost import compute_graph_cost, is_profitable
@@ -48,6 +49,7 @@ from .legality import (
 from .lookahead import LookAheadScorer
 from .reorder import SuperNode, SuperNodeRecord
 from .seeds import collect_store_seeds
+from .supernode import apo_str
 from .report import FunctionReport, GraphReport, VectorizationReport
 
 
@@ -368,6 +370,8 @@ class _GraphBuilder:
             vec_type=vec_type,
             operands=operands,
             lane_opcodes=lane_opcodes,
+            from_supernode=bool(instrs)
+            and all(id(inst) in self.in_supernode for inst in instrs),
         )
         self.nodes.append(node)
         return node
@@ -425,9 +429,51 @@ class _GraphBuilder:
                     or id(unit.inst) in self.vectorizer.consumed_ids
                 ):
                     return None
-        node.reorder_leaves_and_trunks(
+        journal = current_journal()
+        if journal.enabled:
+            journal.emit(
+                "supernode",
+                f"formed {node.kind}-node: {node.num_lanes} lanes x "
+                f"{node.size()} trunks in the {node.chains[0].family.name} "
+                f"family"
+                + (" (contains inverse ops)" if node.contains_inverse else ""),
+                node_kind=node.kind,
+                lanes=node.num_lanes,
+                size=node.size(),
+                family=node.chains[0].family.name,
+                contains_inverse=node.contains_inverse,
+                lane_apos=[
+                    "".join(
+                        apo_str(apo, chain.family)
+                        for apo in chain.slot_apos().values()
+                    )
+                    for chain in node.chains
+                ],
+                chains=[repr(chain) for chain in node.chains],
+                dot_before=chains_to_dot(
+                    node.saved_chains, title=f"{node.kind}-node before reorder"
+                ),
+            )
+        applied = node.reorder_leaves_and_trunks(
             self.scorer, visit_root_first=self.config.visit_root_first
         )
+        if journal.enabled:
+            leaf_swaps = sum(c.leaf_swaps_applied for c in node.chains)
+            trunk_swaps = sum(c.trunk_swaps_applied for c in node.chains)
+            journal.emit(
+                "reorder",
+                f"reorder applied groups at {applied}/{node.num_slots} "
+                f"operand index(es): {leaf_swaps} leaf swap(s), "
+                f"{trunk_swaps} trunk swap(s)",
+                applied=applied,
+                slots=node.num_slots,
+                leaf_swaps=leaf_swaps,
+                trunk_swaps=trunk_swaps,
+                chains=[repr(chain) for chain in node.chains],
+                dot_after=chains_to_dot(
+                    node.chains, title=f"{node.kind}-node after reorder"
+                ),
+            )
         new_roots = node.generate_code()
         for inst in node.emitted_instructions:
             self.in_supernode.add(id(inst))
@@ -488,10 +534,18 @@ class SLPVectorizer:
                 f"lanes={len(seed)}"
             ):
                 continue  # vetoed by -opt-bisect-limit style gating
+            journal = current_journal()
             with current_tracer().span(
                 "slp.graph", function=function.name, block=block.name,
                 lanes=len(seed),
             ):
+                if journal.enabled:
+                    journal.begin_graph(function.name, block.name, "store")
+                    journal.emit(
+                        "seed",
+                        f"seeded from {len(seed)} adjacent stores",
+                        lanes=len(seed),
+                    )
                 builder = _GraphBuilder(self, seed, function)
                 graph = builder.build()  # step 3
                 if graph is None:
@@ -504,6 +558,13 @@ class SLPVectorizer:
                         seed="store",
                         lanes=len(seed),
                     )
+                    if journal.enabled:
+                        journal.emit(
+                            "seed-rejected",
+                            "seed store bundle is not schedulable",
+                            lanes=len(seed),
+                        )
+                        journal.end_graph()
                     continue
                 _STAT_GRAPHS_BUILT.add()
                 _STAT_GATHER_NODES.add(len(graph.gather_nodes()))
@@ -511,6 +572,33 @@ class SLPVectorizer:
                 profitable = is_profitable(
                     graph, self.config.profitability_threshold
                 )  # step 5
+                if journal.enabled:
+                    journal.emit(
+                        "graph",
+                        f"built graph: {len(graph.nodes)} node(s), "
+                        f"{len(graph.gather_nodes())} gather(s)",
+                        nodes=len(graph.nodes),
+                        gathers=len(graph.gather_nodes()),
+                        gather_reasons=sorted(
+                            {n.reason for n in graph.gather_nodes()}
+                        ),
+                        dump=graph.dump(),
+                        dot=graph_to_dot(graph),
+                    )
+                    journal.emit(
+                        "cost",
+                        f"cost {graph.total_cost:+.1f} (vector "
+                        f"{graph.vector_cost:.1f} - scalar "
+                        f"{graph.scalar_cost:.1f} + extract "
+                        f"{graph.extract_cost:.1f}) -> "
+                        f"{'vectorized' if profitable else 'rejected'}",
+                        total=graph.total_cost,
+                        scalar=graph.scalar_cost,
+                        vector=graph.vector_cost,
+                        extract=graph.extract_cost,
+                        threshold=self.config.profitability_threshold,
+                        verdict="profitable" if profitable else "unprofitable",
+                    )
                 if profitable:
                     emit_vector_code(graph)  # step 6b
                     self.consumed_ids |= graph.internal_instruction_ids()
@@ -528,6 +616,16 @@ class SLPVectorizer:
                     for node in reversed(builder.formed_chains):
                         restored = node.undo_code(leaf_remap)
                         _STAT_CHAIN_UNDOS.add()
+                        if journal.enabled:
+                            journal.emit(
+                                "undo",
+                                f"reverted {node.kind}-node massage "
+                                f"({node.num_lanes} lanes x {node.size()} "
+                                f"trunks) after cost rejection",
+                                kind=node.kind,
+                                lanes=node.num_lanes,
+                                size=node.size(),
+                            )
                         for original, replacement in zip(
                             node.original_roots, restored
                         ):
@@ -535,6 +633,8 @@ class SLPVectorizer:
                 self._remark_graph_outcome(
                     function, block, graph, profitable, seed_kind="store"
                 )
+                if journal.enabled:
+                    journal.end_graph()
             report.graphs.append(
                 GraphReport(
                     function=function.name,
@@ -627,10 +727,19 @@ class SLPVectorizer:
                 f"leaves={candidate.leaf_count}"
             ):
                 continue
+            journal = current_journal()
             with current_tracer().span(
                 "slp.reduction", function=function.name, block=block.name,
                 leaves=candidate.leaf_count,
             ):
+                if journal.enabled:
+                    journal.begin_graph(function.name, block.name, "reduction")
+                    journal.emit(
+                        "seed",
+                        f"seeded from a {candidate.leaf_count}-leaf "
+                        f"horizontal reduction chain",
+                        leaves=candidate.leaf_count,
+                    )
                 builder = _GraphBuilder(self, (), function, anchor=candidate.root)
                 plan = plan_reduction(
                     candidate, builder, self.target.isa, self.target.cost_model
@@ -645,8 +754,26 @@ class SLPVectorizer:
                     seed="reduction",
                     leaves=candidate.leaf_count,
                 )
+                if journal.enabled:
+                    journal.emit(
+                        "seed-rejected",
+                        f"no profitable chunking for {candidate.leaf_count} "
+                        f"leaves",
+                        leaves=candidate.leaf_count,
+                    )
+                    journal.end_graph()
                 continue
             profitable = plan.total_cost < self.config.profitability_threshold
+            if journal.enabled:
+                journal.emit(
+                    "cost",
+                    f"cost {plan.total_cost:+.1f} at VF={plan.vector_width} "
+                    f"-> {'vectorized' if profitable else 'rejected'}",
+                    total=plan.total_cost,
+                    width=plan.vector_width,
+                    threshold=self.config.profitability_threshold,
+                    verdict="profitable" if profitable else "unprofitable",
+                )
             if profitable:
                 _STAT_REDUCTIONS_VECTORIZED.add()
                 current_remarks().passed(
@@ -701,6 +828,8 @@ class SLPVectorizer:
                     kind="reduction",
                 )
             )
+            if journal.enabled:
+                journal.end_graph()
 
     # -- min/max reductions (the other half of -slp-vectorize-hor) ---------------------------------
 
@@ -721,10 +850,19 @@ class SLPVectorizer:
                 f"leaves={candidate.leaf_count}"
             ):
                 continue
+            journal = current_journal()
             with current_tracer().span(
                 "slp.minmax", function=function.name, block=block.name,
                 leaves=candidate.leaf_count,
             ):
+                if journal.enabled:
+                    journal.begin_graph(function.name, block.name, "minmax")
+                    journal.emit(
+                        "seed",
+                        f"seeded from a {candidate.leaf_count}-leaf "
+                        f"{candidate.callee} reduction chain",
+                        leaves=candidate.leaf_count,
+                    )
                 builder = _GraphBuilder(self, (), function, anchor=candidate.root)
                 plan = plan_minmax(
                     candidate, builder, self.target.isa, self.target.cost_model
@@ -740,8 +878,26 @@ class SLPVectorizer:
                     seed="minmax",
                     leaves=candidate.leaf_count,
                 )
+                if journal.enabled:
+                    journal.emit(
+                        "seed-rejected",
+                        f"no profitable chunking for {candidate.leaf_count}"
+                        f"-leaf {candidate.callee} reduction",
+                        leaves=candidate.leaf_count,
+                    )
+                    journal.end_graph()
                 continue
             profitable = plan.total_cost < self.config.profitability_threshold
+            if journal.enabled:
+                journal.emit(
+                    "cost",
+                    f"cost {plan.total_cost:+.1f} at VF={plan.vector_width} "
+                    f"-> {'vectorized' if profitable else 'rejected'}",
+                    total=plan.total_cost,
+                    width=plan.vector_width,
+                    threshold=self.config.profitability_threshold,
+                    verdict="profitable" if profitable else "unprofitable",
+                )
             if profitable:
                 _STAT_MINMAX_VECTORIZED.add()
                 current_remarks().passed(
@@ -797,3 +953,5 @@ class SLPVectorizer:
                     kind="minmax-reduction",
                 )
             )
+            if journal.enabled:
+                journal.end_graph()
