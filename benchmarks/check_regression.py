@@ -37,24 +37,55 @@ def load_baseline(path: pathlib.Path) -> dict:
     return {row["kernel"]: row for row in rows if "kernel" in row}
 
 
-def emit_bench(path: pathlib.Path, fresh: dict) -> None:
-    """Write the perf baseline: speedups + serial vs parallel wall-clock.
+def emit_bench(
+    path: pathlib.Path, fresh: dict, history_db: pathlib.Path = None
+) -> None:
+    """Write the perf baseline: speedups, wall-clock, and telemetry.
 
     Simulated cycles are deterministic, so the speedup table is identical
     between the two runs; only the wall-clock differs.  Both measurements
     run the full (kernel, config) suite through the same worker function,
     so the ratio isolates the process-pool win.
+
+    The serial run is made under a metrics+tracer-armed session, giving
+    exact p50/p90/p99 compile-time percentiles (from the per-run
+    ``compile_seconds`` samples, not histogram buckets) and the
+    interpreter throughput (total interpreted instructions over the
+    tracer's ``simulate`` span wall time).  The parallel run's session
+    contributes the ``parallel.*`` overhead counters, so the perf
+    baseline records where jobs=2 time goes.  ``history_db`` additionally
+    appends the headline numbers to a run-history store for trend gating.
     """
     import time
 
     from repro.bench import run_suite_parallel
+    from repro.observe.metrics import exact_percentile
+    from repro.observe.session import CompilerSession, use_session
 
-    start = time.perf_counter()
-    run_suite_parallel(jobs=1)
-    serial_seconds = time.perf_counter() - start
-    start = time.perf_counter()
-    run_suite_parallel(jobs=2)
-    parallel_seconds = time.perf_counter() - start
+    serial_session = CompilerSession(name="emit-bench-serial")
+    serial_session.tracer.enable()
+    serial_session.metrics.enable()
+    with use_session(serial_session):
+        start = time.perf_counter()
+        results = run_suite_parallel(jobs=1)
+        serial_seconds = time.perf_counter() - start
+
+    parallel_session = CompilerSession(name="emit-bench-parallel")
+    parallel_session.metrics.enable()
+    with use_session(parallel_session):
+        start = time.perf_counter()
+        run_suite_parallel(jobs=2)
+        parallel_seconds = time.perf_counter() - start
+
+    runs = [run for matrix in results.values() for run in matrix.values()]
+    compile_samples = sorted(run.compile_seconds for run in runs)
+    total_instructions = sum(run.instructions for run in runs)
+    simulate_seconds = serial_session.tracer.total_ns("simulate") / 1e9
+    instructions_per_sec = (
+        total_instructions / simulate_seconds if simulate_seconds else 0.0
+    )
+    overhead = parallel_session.stats.snapshot()
+
     document = {
         "figure": "fig5_kernel_speedups",
         "speedups": {
@@ -70,13 +101,55 @@ def emit_bench(path: pathlib.Path, fresh: dict) -> None:
             "parallel_jobs2": round(parallel_seconds, 3),
         },
         "parallel_speedup": round(serial_seconds / parallel_seconds, 3),
+        "compile_seconds": {
+            "count": len(compile_samples),
+            "p50": round(exact_percentile(compile_samples, 50), 6),
+            "p90": round(exact_percentile(compile_samples, 90), 6),
+            "p99": round(exact_percentile(compile_samples, 99), 6),
+            "sum": round(sum(compile_samples), 6),
+        },
+        "interpreter": {
+            "instructions": total_instructions,
+            "simulate_seconds": round(simulate_seconds, 3),
+            "instructions_per_sec": round(instructions_per_sec),
+        },
+        "parallel_overhead_seconds": {
+            "overhead": round(overhead.get("parallel.overhead_seconds", 0.0), 3),
+            "marshal": round(overhead.get("parallel.marshal_seconds", 0.0), 3),
+            "spawn": round(overhead.get("parallel.spawn_seconds", 0.0), 3),
+            "tasks": overhead.get("parallel.tasks", 0),
+        },
     }
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     print(
         f"wrote {path}: suite serial {serial_seconds:.2f}s, "
         f"parallel(jobs=2) {parallel_seconds:.2f}s "
-        f"({serial_seconds / parallel_seconds:.2f}x)"
+        f"({serial_seconds / parallel_seconds:.2f}x), "
+        f"compile p50 {document['compile_seconds']['p50'] * 1e3:.2f}ms / "
+        f"p99 {document['compile_seconds']['p99'] * 1e3:.2f}ms, "
+        f"interp {instructions_per_sec:,.0f} insns/s"
     )
+
+    if history_db is not None:
+        from repro.observe.history import RunHistory
+
+        samples = {
+            "emit.compile.seconds.p50": document["compile_seconds"]["p50"],
+            "emit.compile.seconds.p99": document["compile_seconds"]["p99"],
+            "emit.interp.instructions_per_sec": instructions_per_sec,
+            "emit.suite.serial_seconds": serial_seconds,
+            "emit.parallel.overhead_seconds": overhead.get(
+                "parallel.overhead_seconds", 0.0
+            ),
+        }
+        with RunHistory(str(history_db)) as history:
+            run_id = history.record(
+                kind="emit-bench",
+                metrics=samples,
+                payload={"bench": str(path)},
+                config={"command": "check_regression"},
+            )
+        print(f"recorded run #{run_id} ({len(samples)} metric(s)) in {history_db}")
 
 
 def main(argv=None) -> int:
@@ -106,6 +179,13 @@ def main(argv=None) -> int:
         help="also time the suite serial vs parallel (jobs=2) and write a "
         "perf-baseline JSON to PATH",
     )
+    parser.add_argument(
+        "--history-db",
+        type=pathlib.Path,
+        metavar="PATH",
+        help="with --emit-bench: also append the headline numbers to this "
+        "run-history database (see `repro history`)",
+    )
     args = parser.parse_args(argv)
 
     if not args.baseline.exists():
@@ -122,7 +202,7 @@ def main(argv=None) -> int:
     }
 
     if args.emit_bench is not None:
-        emit_bench(args.emit_bench, fresh)
+        emit_bench(args.emit_bench, fresh, history_db=args.history_db)
 
     failures = []
     for kernel, old in sorted(baseline.items()):

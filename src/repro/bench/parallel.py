@@ -25,24 +25,46 @@ worker in the Chrome trace).
 from __future__ import annotations
 
 import os
+import pickle
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..kernels.suite import Kernel, all_kernels, kernel_named
 from ..machine.targets import DEFAULT_TARGET, TargetMachine, target_named
+from ..observe import STAT
 from ..observe.session import CompilerSession, current_session, use_session
 from ..vectorizer.slp import ALL_CONFIGS, O3_CONFIG, SLPConfig, config_named
 from .runner import DEFAULT_SEED, KernelRun, outputs_match, run_kernel_config
 
 #: (kernel_name, config_name, target_name, seed, capture_trace,
-#: capture_remarks, journal) — everything a worker needs.  The three
-#: booleans mirror the parent session's observability configuration so
-#: workers collect the same streams the caller armed.
-PairPayload = Tuple[str, str, str, int, bool, bool, bool]
+#: capture_remarks, journal, capture_metrics) — everything a worker
+#: needs.  The four booleans mirror the parent session's observability
+#: configuration so workers collect the same streams the caller armed.
+PairPayload = Tuple[str, str, str, int, bool, bool, bool, bool]
 
-#: what a worker sends back alongside its KernelRun when the parent asked
-#: for trace spans or remarks: {"pid", "events", "remarks"} — TraceEvent
-#: and Remark are plain dataclasses, so they pickle as-is
-WorkerCapture = Optional[Dict[str, object]]
+#: what a worker sends back alongside its KernelRun: always
+#: {"pid", "worker_seconds"} (the in-worker wall clock that overhead
+#: attribution subtracts from the parent-observed task wall clock), plus
+#: "events" / "remarks" / "metrics" when the parent armed those streams —
+#: TraceEvent, Remark and MetricsRegistry all pickle as-is
+WorkerCapture = Dict[str, object]
+
+# Parallel-driver overhead counters.  These record into the *parent*
+# session only (workers never see them), so serial/parallel KernelRun
+# equivalence is untouched; they exist so BENCH reports can attribute
+# the jobs=2 slowdown (ROADMAP Open item 1) without a profiler.
+_OVERHEAD_SECONDS = STAT(
+    "parallel.overhead_seconds",
+    "pool wall beyond the ideal jobs-way split of in-worker time",
+)
+_MARSHAL_SECONDS = STAT(
+    "parallel.marshal_seconds", "seconds pickling worker payloads"
+)
+_SPAWN_SECONDS = STAT(
+    "parallel.spawn_seconds",
+    "pool start to first worker result, minus that task's in-worker time",
+)
+_TASKS = STAT("parallel.tasks", "pairs dispatched to the worker pool")
 
 
 def default_jobs() -> int:
@@ -56,18 +78,26 @@ def _resolve_jobs(jobs: Optional[int]) -> int:
 def _run_pair(payload: PairPayload) -> Tuple[KernelRun, WorkerCapture]:
     """Worker: run one (kernel, config) pair in its own root session.
 
-    When the parent armed its tracer or remark collector, the worker
-    arms its own and ships the collected streams back for merging
-    (:func:`_merge_capture`); otherwise the capture slot is None and
-    nothing observability-related runs.
+    When the parent armed its tracer, remark collector or metrics
+    registry, the worker arms its own and ships the collected streams
+    back for merging (:func:`_merge_capture`).  The capture always
+    carries ``worker_seconds`` — the wall clock spent *inside* the
+    worker — so the parent can attribute spawn/marshal/queue overhead
+    as (observed task wall) - (in-worker wall).
     """
-    kernel_name, config_name, target_name, seed, trace, remarks, journal = payload
+    (
+        kernel_name, config_name, target_name, seed,
+        trace, remarks, journal, metrics,
+    ) = payload
     kernel = kernel_named(kernel_name)
     session = CompilerSession(name=f"bench-worker:{kernel_name}/{config_name}")
     if trace:
         session.tracer.enable()
     if remarks:
         session.remarks.enable()
+    if metrics:
+        session.metrics.enable()
+    start = time.perf_counter()
     with use_session(session):
         run = run_kernel_config(
             kernel,
@@ -77,33 +107,38 @@ def _run_pair(payload: PairPayload) -> Tuple[KernelRun, WorkerCapture]:
             session=session.derive(),
             journal=journal,
         )
-    capture: WorkerCapture = None
-    if trace or remarks:
-        capture = {
-            "pid": os.getpid(),
-            "events": list(session.tracer.events),
-            "remarks": list(session.remarks.remarks),
-        }
+    capture: WorkerCapture = {
+        "pid": os.getpid(),
+        "worker_seconds": time.perf_counter() - start,
+    }
+    if trace:
+        capture["events"] = list(session.tracer.events)
+    if remarks:
+        capture["remarks"] = list(session.remarks.remarks)
+    if metrics:
+        capture["metrics"] = session.metrics
     return run, capture
 
 
 def _merge_capture(parent: CompilerSession, capture: WorkerCapture) -> None:
-    """Fold one worker's spans/remarks into the parent session.
+    """Fold one worker's spans/remarks/metrics into the parent session.
 
     Spans keep their originating worker ``pid`` so the Chrome trace
     renders one process track per worker; remarks are tagged with
-    ``worker_pid``.  Captures are merged in payload order, so the merged
-    streams are deterministic regardless of completion order.
+    ``worker_pid``; worker histograms merge bucket-wise.  Captures are
+    merged in payload order, so the merged streams are deterministic
+    regardless of completion order.
     """
-    if capture is None:
-        return
     pid = int(capture["pid"])
-    for event in capture["events"]:
+    for event in capture.get("events", ()):
         event.pid = pid
         parent.tracer.events.append(event)
-    for remark in capture["remarks"]:
+    for remark in capture.get("remarks", ()):
         remark.args.setdefault("worker_pid", pid)
         parent.remarks.remarks.append(remark)
+    worker_metrics = capture.get("metrics")
+    if worker_metrics is not None and parent.metrics.enabled:
+        parent.metrics.merge(worker_metrics)
 
 
 def _with_oracle(configs: Sequence[SLPConfig]) -> List[SLPConfig]:
@@ -121,9 +156,13 @@ def _pair_payloads(
     trace: bool,
     remarks: bool,
     journal: bool,
+    metrics: bool,
 ) -> List[PairPayload]:
     return [
-        (kernel.name, config.name, target.name, seed, trace, remarks, journal)
+        (
+            kernel.name, config.name, target.name, seed,
+            trace, remarks, journal, metrics,
+        )
         for kernel in kernels
         for config in configs
     ]
@@ -179,33 +218,124 @@ def run_suite_parallel(
 
     Results are reassembled in payload order, so the outcome is
     deterministic regardless of ``jobs`` or completion order.  If the
-    *calling* session's tracer or remark collector is enabled, workers
-    arm the same collectors and their spans/remarks are merged back into
-    the caller's session keyed by worker pid (payload order again, so
-    the merged streams are deterministic).  ``journal=True`` attaches a
-    per-run decision-journal summary to each :class:`KernelRun`.
-    """
-    from concurrent.futures import ProcessPoolExecutor
+    *calling* session's tracer, remark collector or metrics registry is
+    enabled, workers arm the same collectors and their streams are
+    merged back into the caller's session keyed by worker pid (payload
+    order again, so the merged streams are deterministic).
+    ``journal=True`` attaches a per-run decision-journal summary to each
+    :class:`KernelRun`.
 
+    Overhead attribution: the parallel path records, into the *parent*
+    session only, how much task wall clock was spent outside workers —
+    ``parallel.overhead_seconds`` / ``parallel.marshal_seconds`` /
+    ``parallel.spawn_seconds`` counters plus per-task histograms when
+    metrics are armed — so a slower-than-serial parallel run explains
+    itself from the report.
+    """
     parent = current_session()
     trace = parent.tracer.enabled
     remarks = parent.remarks.enabled
+    metrics = parent.metrics.enabled
     kernels = list(kernels) if kernels is not None else all_kernels()
     configs = _with_oracle(configs)
     payloads = _pair_payloads(
-        kernels, configs, target, seed, trace, remarks, journal
+        kernels, configs, target, seed, trace, remarks, journal, metrics
     )
     jobs = _resolve_jobs(jobs)
     if jobs <= 1 or len(payloads) <= 1:
         outcomes = [_run_pair(payload) for payload in payloads]
+        for _, capture in outcomes:
+            _merge_capture(parent, capture)
     else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
-            outcomes = list(pool.map(_run_pair, payloads))
-    results = []
-    for run, capture in outcomes:
-        _merge_capture(parent, capture)
-        results.append(run)
-    return _assemble(kernels, configs, results)
+        outcomes = _dispatch(parent, payloads, jobs)
+    return _assemble(kernels, configs, [run for run, _ in outcomes])
+
+
+def _dispatch(
+    parent: CompilerSession, payloads: Sequence[PairPayload], jobs: int
+) -> List[Tuple[KernelRun, WorkerCapture]]:
+    """Fan payloads over a process pool, measuring dispatch overhead.
+
+    Each payload's pickling cost is timed explicitly (that is the
+    marshal the pool would otherwise hide), and every worker ships back
+    its in-worker wall seconds.  ``parallel.overhead_seconds`` is the
+    pool wall clock minus the perfectly-parallel worker time
+    (``sum(worker_seconds) / workers``) — exactly the gap between the
+    observed jobs=N time and the ideal N-way split, so a
+    slower-than-serial run is attributable to spawn + marshal + IPC +
+    imbalance rather than "the kernels got slower".  Per-task
+    turnaround (submit to done-callback, queueing included) lands in a
+    histogram.  All derived counters and histograms go to the *parent*
+    session, never into the per-run counter snapshots.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    stats = parent.stats
+    session_metrics = parent.metrics
+    done_at: Dict[int, float] = {}
+    submit_at: List[float] = []
+    pool_start = time.perf_counter()
+    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+        with parent.tracer.span("parallel:submit", tasks=len(payloads)):
+            futures = []
+            for index, payload in enumerate(payloads):
+                marshal_start = time.perf_counter()
+                pickle.loads(pickle.dumps(payload))
+                marshal_seconds = time.perf_counter() - marshal_start
+                _MARSHAL_SECONDS.resolve(stats).add(marshal_seconds)
+                session_metrics.observe(
+                    "parallel.task.marshal_seconds", marshal_seconds,
+                    description="payload pickle round-trip seconds per task",
+                )
+                _TASKS.resolve(stats).add()
+                submit_at.append(time.perf_counter())
+                future = pool.submit(_run_pair, payload)
+                future.add_done_callback(
+                    lambda _, i=index: done_at.__setitem__(
+                        i, time.perf_counter()
+                    )
+                )
+                futures.append(future)
+        outcomes = [future.result() for future in futures]
+    pool_wall = time.perf_counter() - pool_start
+    workers = min(jobs, len(payloads))
+    worker_total = 0.0
+    with parent.tracer.span("parallel:merge", tasks=len(payloads)):
+        for index, (_, capture) in enumerate(outcomes):
+            worker_seconds = float(capture["worker_seconds"])
+            worker_total += worker_seconds
+            turnaround = done_at.get(index, pool_start + pool_wall) - submit_at[index]
+            session_metrics.observe(
+                "parallel.task.turnaround_seconds", max(0.0, turnaround),
+                description="submit-to-done wall seconds per task "
+                "(queueing included)",
+            )
+            session_metrics.observe(
+                "parallel.task.worker_seconds", worker_seconds,
+                description="in-worker wall seconds per task",
+            )
+            _merge_capture(parent, capture)
+    overhead = max(0.0, pool_wall - worker_total / max(1, workers))
+    _OVERHEAD_SECONDS.resolve(stats).add(overhead)
+    session_metrics.observe(
+        "parallel.dispatch.overhead_seconds", overhead,
+        description="pool wall seconds beyond the ideal jobs-way split "
+        "of in-worker time (spawn + marshal + IPC + imbalance)",
+    )
+    if done_at:
+        first_index = min(done_at, key=done_at.get)
+        spawn = max(
+            0.0,
+            done_at[first_index]
+            - pool_start
+            - float(outcomes[first_index][1]["worker_seconds"]),
+        )
+        _SPAWN_SECONDS.resolve(stats).add(spawn)
+        session_metrics.gauge(
+            "parallel.pool_spawn_seconds", spawn,
+            description="pool start to first result, minus in-worker time",
+        )
+    return outcomes
 
 
 # -- figure-level workers -----------------------------------------------------------

@@ -103,6 +103,20 @@ def run_kernel_config(
         session=own,
     )
     counters = own.stats.snapshot()
+    metrics = own.metrics
+    if metrics.enabled:
+        metrics.observe(
+            "bench.compile.seconds", compiled.compile_seconds,
+            description="wall compile seconds per (kernel, config) pair",
+        )
+        metrics.observe(
+            "bench.kernel.cycles", result.cycles,
+            description="simulated cycles per (kernel, config) pair",
+        )
+        metrics.observe(
+            "bench.kernel.instructions", float(result.instructions),
+            description="interpreted instructions per (kernel, config) pair",
+        )
     report = compiled.report
     return KernelRun(
         kernel=kernel.name,

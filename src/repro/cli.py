@@ -15,6 +15,9 @@ IR, executing on the simulator and comparing configurations::
     python -m repro fuzz --replay fuzz-artifacts/failure-0000/reduced.ir
     python -m repro fuzz --inject --budget 15s
     python -m repro bisect failure-0000/reduced.ir --config sn-slp
+    python -m repro profile motiv-leaf-reorder --folded profile.folded
+    python -m repro bench --json --history-db history.db > RESULTS.json
+    python -m repro history --db history.db --check
 
 ``compile`` prints the (vectorized) IR — with ``--guard`` it goes
 through the fault-isolating driver that degrades instead of crashing;
@@ -91,14 +94,16 @@ def _resolve_target(name: str):
 
 
 def _configure_observability(args: argparse.Namespace, session: CompilerSession) -> None:
-    """Arm the session's tracer / remark collector / decision journal
-    before the command runs."""
+    """Arm the session's tracer / remark collector / decision journal /
+    metrics registry before the command runs."""
     if getattr(args, "trace_out", None):
         session.tracer.enable()
     if getattr(args, "remarks", None):
         session.remarks.enable()
     if getattr(args, "journal", None):
         session.journal.enable()
+    if getattr(args, "metrics_out", None) or getattr(args, "history_db", None):
+        session.metrics.enable()
 
 
 def _flush_observability(args: argparse.Namespace, session: CompilerSession) -> None:
@@ -127,8 +132,56 @@ def _flush_observability(args: argparse.Namespace, session: CompilerSession) -> 
             f"{args.journal}",
             file=sys.stderr,
         )
+    if getattr(args, "metrics_out", None):
+        session.metrics.write_exposition(args.metrics_out, session.stats)
+        print(
+            f"; wrote metrics exposition to {args.metrics_out}",
+            file=sys.stderr,
+        )
+    if getattr(args, "history_db", None):
+        _record_history(args, session)
     if getattr(args, "stats", False) and not getattr(args, "_stats_printed", False):
         print(session.stats.report(), file=sys.stderr)
+
+
+#: args that are output destinations or presentation toggles — they do
+#: not change what the run *measures*, so they stay out of the run-
+#: history config hash (otherwise changing an artifact path would split
+#: a metric series in two)
+_HISTORY_CONFIG_EXCLUDE = frozenset(
+    {
+        "fn", "_stats_printed", "history_db", "metrics_out", "trace_out",
+        "remarks", "journal", "out", "output", "stats", "verbose", "json",
+        "folded", "dot", "dot_worst", "emit_ir", "show",
+    }
+)
+
+
+def _record_history(args: argparse.Namespace, session: CompilerSession) -> None:
+    """Append this invocation's metrics + counters to the history DB."""
+    from .observe.history import RunHistory
+
+    samples = dict(session.metrics.flat_summary())
+    for name, value in session.stats.snapshot().items():
+        samples.setdefault(name, value)
+    config = {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key not in _HISTORY_CONFIG_EXCLUDE
+        and isinstance(value, (str, int, float, bool, list, tuple, type(None)))
+    }
+    with RunHistory(args.history_db) as history:
+        run_id = history.record(
+            kind=args.command,
+            metrics=samples,
+            payload={"args": config},
+            config=config,
+        )
+    print(
+        f"; recorded run #{run_id} ({len(samples)} metric(s)) in "
+        f"{args.history_db}",
+        file=sys.stderr,
+    )
 
 
 def _stats_table(stats, title: str) -> str:
@@ -730,6 +783,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                     f"{kernel_name:24s} {config_name:8s} {run.cycles:12.1f} "
                     f"{speedup:8.2f} {str(run.correct):>8s}"
                 )
+    _bench_gauges(rows)
     if args.json:
         document = {
             "target": target.name,
@@ -737,8 +791,145 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "jobs": jobs,
             "runs": rows,
         }
+        metrics = current_session().metrics
+        if metrics.enabled:
+            document["metrics"] = metrics.summary()
         print(json.dumps(document, indent=2, sort_keys=True))
     return exit_code
+
+
+def _bench_gauges(rows: List[Dict]) -> None:
+    """Record deterministic per-config aggregates as gauges.
+
+    Total simulated cycles and geomean speedups are pure functions of
+    the code under test (no wall clock), so their history series are
+    flat until a real change lands — exactly what the MAD gate's
+    relative-deviation fallback wants to see.
+    """
+    import math
+
+    metrics = current_session().metrics
+    if not metrics.enabled or not rows:
+        return
+    speedups: Dict[str, List[float]] = {}
+    cycles: Dict[str, float] = {}
+    for row in rows:
+        config = str(row["config"])
+        speedups.setdefault(config, []).append(float(row["speedup"]))
+        cycles[config] = cycles.get(config, 0.0) + float(row["cycles"])
+    for config in sorted(speedups):
+        values = speedups[config]
+        geomean = math.exp(sum(math.log(v) for v in values) / len(values))
+        metrics.gauge(
+            f"bench.geomean_speedup.{config}", geomean,
+            description="geomean speedup over O3 across benched kernels",
+        )
+        metrics.gauge(
+            f"bench.total_cycles.{config}", cycles[config],
+            description="total simulated cycles across benched kernels",
+        )
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from .observe.profile import render_top_table, self_time_stats, write_folded
+
+    module = _load_module_or_kernel(args.source)
+    kernel = _pick_kernel(module, args.kernel)
+    config = _resolve_config(args.config)
+    target = _resolve_target(args.target)
+    session = current_session()
+    session.tracer.enable()  # the profile *is* the trace
+    inputs = _seed_inputs(module, args.seed)
+    for _ in range(max(1, args.repeat)):
+        compiled = compile_module(
+            module, config, target,
+            unroll_factor=args.unroll,
+            session=session.derive(name="profile-compile"),
+        )
+        simulate(
+            compiled.module,
+            kernel,
+            target,
+            [args.n],
+            inputs=inputs,
+            session=session.derive(name="profile-sim"),
+        )
+    stats = self_time_stats(session.tracer.events)
+    # artifacts before the table: a closed stdout pipe (| head, | grep -q)
+    # must not lose the folded output
+    if args.folded:
+        write_folded(args.folded, session.tracer.events)
+        print(
+            f"; wrote folded stacks to {args.folded} "
+            "(feed to flamegraph.pl or drop into speedscope.app)",
+            file=sys.stderr,
+        )
+    print(
+        f"; profiled {args.source} ({config.name}, {target.name}): "
+        f"{len(session.tracer.events)} span(s) over "
+        f"{max(1, args.repeat)} repeat(s)",
+        file=sys.stderr,
+    )
+    print(render_top_table(stats, args.top))
+    return EXIT_OK
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .observe.history import (
+        DEFAULT_THRESHOLD,
+        RunHistory,
+        check_history,
+        render_trend_table,
+    )
+
+    if not os.path.exists(args.db):
+        _usage(f"history database {args.db} does not exist")
+    with RunHistory(args.db) as history:
+        if args.json:
+            document = [
+                {
+                    "id": record.id,
+                    "created_at": record.created_at,
+                    "kind": record.kind,
+                    "git_rev": record.git_rev,
+                    "config_hash": record.config_hash,
+                    "metrics": record.metrics,
+                }
+                for record in history.runs(kind=args.kind, limit=args.limit)
+            ]
+            print(json.dumps(document, indent=2, sort_keys=True))
+        else:
+            print(
+                render_trend_table(
+                    history,
+                    kind=args.kind,
+                    metrics=args.metric or None,
+                    limit=args.limit,
+                )
+            )
+        if args.check:
+            anomalies = check_history(
+                history,
+                kind=args.kind,
+                metrics=args.metric or None,
+                limit=args.limit,
+                threshold=(
+                    args.threshold if args.threshold is not None
+                    else DEFAULT_THRESHOLD
+                ),
+            )
+            if anomalies:
+                for anomaly in anomalies:
+                    print(
+                        f"repro: history: regression: {anomaly}",
+                        file=sys.stderr,
+                    )
+                return EXIT_MISMATCH
+            print("; history check: no regressions", file=sys.stderr)
+    return EXIT_OK
 
 
 def cmd_bisect(args: argparse.Namespace) -> int:
@@ -824,6 +1015,21 @@ def build_parser() -> argparse.ArgumentParser:
             "--verbose",
             action="store_true",
             help="print per-phase compile times on stderr (-time-passes)",
+        )
+        metrics_flags(p)
+
+    def metrics_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--metrics-out",
+            metavar="FILE",
+            help="write gauges/histograms/counters as Prometheus text "
+            "exposition to FILE (arms the session metrics registry)",
+        )
+        p.add_argument(
+            "--history-db",
+            metavar="FILE",
+            help="append this run's headline metrics to the sqlite "
+            "run-history DB at FILE (see `repro history`)",
         )
 
     p_compile = sub.add_parser("compile", help="compile and optionally print IR")
@@ -976,6 +1182,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include each graph's textual dump in the narration",
     )
+    metrics_flags(p_explain)
     p_explain.set_defaults(fn=cmd_explain)
 
     # fuzz generates its own programs — no positional source argument
@@ -1043,6 +1250,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for count budgets (default: all cores); "
         "results are bit-identical to a serial run",
     )
+    metrics_flags(p_fuzz)
     p_fuzz.set_defaults(fn=cmd_fuzz)
 
     p_bench = sub.add_parser(
@@ -1091,7 +1299,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach a decision-journal summary to every run (JSON mode); "
         "off by default so bench results stay bit-identical",
     )
+    metrics_flags(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="self-time profile of one kernel's compile + simulate, with "
+        "folded-stack flamegraph export",
+    )
+    common(p_profile)
+    p_profile.add_argument("--kernel", help="kernel name (default: the only one)")
+    p_profile.add_argument("--n", type=int, default=64, help="trip-count argument")
+    p_profile.add_argument("--seed", type=int, default=0, help="input seed")
+    p_profile.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="compile+simulate N times for denser span distributions",
+    )
+    p_profile.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rows in the hot-phase table (default: 10)",
+    )
+    p_profile.add_argument(
+        "--folded",
+        metavar="FILE",
+        help="write collapsed-stack output to FILE "
+        "(flamegraph.pl / speedscope input)",
+    )
+    p_profile.set_defaults(fn=cmd_profile)
+
+    p_history = sub.add_parser(
+        "history",
+        help="render run-history trend tables; --check gates on "
+        "median/MAD anomaly detection",
+    )
+    p_history.add_argument(
+        "--db", required=True, metavar="FILE", help="sqlite run-history database"
+    )
+    p_history.add_argument(
+        "--kind",
+        metavar="CMD",
+        help="only consider runs recorded by this command (e.g. bench)",
+    )
+    p_history.add_argument(
+        "--metric",
+        action="append",
+        metavar="NAME",
+        help="only show/check this metric; repeatable",
+    )
+    p_history.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        metavar="N",
+        help="series length to consider (default: 20 most recent runs)",
+    )
+    p_history.add_argument(
+        "--check",
+        action="store_true",
+        help="flag regressive anomalies in the latest run; exit "
+        f"{EXIT_MISMATCH} when any are found",
+    )
+    p_history.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="Z",
+        help="robust z-score threshold for --check (default: 3.5)",
+    )
+    p_history.add_argument(
+        "--json",
+        action="store_true",
+        help="dump the recorded runs as a JSON document",
+    )
+    p_history.set_defaults(fn=cmd_history)
 
     p_bisect = sub.add_parser(
         "bisect",
@@ -1159,6 +1445,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except BudgetExceededError as exc:
         print(f"repro: execution budget exceeded: {exc}", file=sys.stderr)
         return EXIT_BUDGET
+    except BrokenPipeError:
+        # stdout closed early (| head, | grep -q): not a compiler bug.
+        # Artifact files are written before tables, so nothing is lost.
+        return EXIT_OK
     except Exception as exc:  # noqa: BLE001 - last-resort crash mapping
         import traceback
 

@@ -395,15 +395,21 @@ def run_campaign(
                 break
             if len(failures) >= max_failures:
                 break
-            spec = random_spec(derive_seed(seed, f"campaign-program/{index}"))
-            program = generate_program(spec)
-            report = run_oracle(
-                program,
-                input_seed=input_seed,
-                configs=configs,
-                target=target,
-                max_ulps=max_ulps,
-            )
+            with campaign.metrics.timer(
+                "fuzz.program.seconds",
+                "generate + oracle wall seconds per fuzzed program",
+            ):
+                spec = random_spec(
+                    derive_seed(seed, f"campaign-program/{index}")
+                )
+                program = generate_program(spec)
+                report = run_oracle(
+                    program,
+                    input_seed=input_seed,
+                    configs=configs,
+                    target=target,
+                    max_ulps=max_ulps,
+                )
             _bucket(report)
             if not report.ok and not report.reference_trapped:
                 artifact = FailureArtifact(index=index, report=report)
@@ -427,12 +433,25 @@ def run_campaign(
                         )
                     )
             index += 1
+    elapsed = time.perf_counter() - started
+    _gauge_throughput(campaign, index, elapsed)
     return CampaignResult(
         programs=index,
-        elapsed_seconds=time.perf_counter() - started,
+        elapsed_seconds=elapsed,
         stats=campaign.stats.snapshot(),
         failures=failures,
     )
+
+
+def _gauge_throughput(
+    campaign: CompilerSession, programs: int, elapsed: float
+) -> None:
+    """Record the campaign's programs/second gauge (metrics-armed only)."""
+    if campaign.metrics.enabled and elapsed > 0:
+        campaign.metrics.gauge(
+            "fuzz.programs_per_sec", programs / elapsed,
+            description="fuzzed programs per wall second",
+        )
 
 
 def _run_campaign_parallel(
@@ -524,9 +543,11 @@ def _run_campaign_parallel(
                     for cfg, status in failure_signature(report)
                 )
             )
+    elapsed = time.perf_counter() - started
+    _gauge_throughput(campaign, programs, elapsed)
     return CampaignResult(
         programs=programs,
-        elapsed_seconds=time.perf_counter() - started,
+        elapsed_seconds=elapsed,
         stats=campaign.stats.snapshot(),
         failures=failures,
     )
@@ -733,17 +754,21 @@ def run_injection_campaign(
             except (TrapError, BudgetExceededError):
                 _TRAPS.add()
                 continue
-            outcome = _inject_one(
-                program,
-                site,
-                mode,
-                target,
-                inputs,
-                reference,
-                max_ulps,
-                phase_budget_seconds,
-                index - 1,
-            )
+            with campaign.metrics.timer(
+                "fuzz.injection.seconds",
+                "guarded compile + diff wall seconds per injection",
+            ):
+                outcome = _inject_one(
+                    program,
+                    site,
+                    mode,
+                    target,
+                    inputs,
+                    reference,
+                    max_ulps,
+                    phase_budget_seconds,
+                    index - 1,
+                )
             outcomes.append(outcome)
             if progress is not None and outcome.status in ("escaped", "fatal"):
                 progress(

@@ -12,6 +12,13 @@ The LLVM-style introspection triple for this Python compiler:
 * :mod:`repro.observe.journal` — the decision journal: typed per-graph
   vectorizer decision events (seeds, look-ahead scores, APO reorders,
   cost verdicts) that power ``repro explain``;
+* :mod:`repro.observe.metrics` — session-scoped gauges, timers and
+  fixed-bucket histograms with Prometheus text exposition
+  (``--metrics-out``);
+* :mod:`repro.observe.profile` — self-time attribution and folded
+  flamegraph export over recorded tracer spans (``repro profile``);
+* :mod:`repro.observe.history` — the sqlite run-history store with
+  trend tables and MAD anomaly gating (``repro history``);
 * :mod:`repro.observe.session` — :class:`CompilerSession`, the explicit
   bundle of all of the above that makes compilation reentrant.  Each
   compilation runs in its own derived session, so counters are isolated
@@ -37,6 +44,7 @@ aliases of the *default* session's components (see
 
 from .trace import TraceEvent, Tracer
 from .stats import STAT, STAT_CATALOG, StatProxy, Statistic, StatsRegistry
+from .metrics import Histogram, MetricsRegistry, exact_percentile
 from .remarks import REMARK_KINDS, Remark, RemarkCollector, load_remarks
 from .journal import (
     EVENT_KINDS,
@@ -52,6 +60,7 @@ from .session import (
     TRACER,
     CompilerSession,
     current_journal,
+    current_metrics,
     current_remarks,
     current_session,
     current_stats,
@@ -69,6 +78,9 @@ __all__ = [
     "StatProxy",
     "Statistic",
     "StatsRegistry",
+    "Histogram",
+    "MetricsRegistry",
+    "exact_percentile",
     "REMARKS",
     "REMARK_KINDS",
     "Remark",
@@ -86,5 +98,6 @@ __all__ = [
     "current_tracer",
     "current_remarks",
     "current_journal",
+    "current_metrics",
     "use_session",
 ]

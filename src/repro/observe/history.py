@@ -1,0 +1,420 @@
+"""Append-only run-history store with trend rendering and anomaly gating.
+
+Every bench/fuzz/compile invocation can record its headline metrics
+(geomean speedups, total cycles, cache hit rates, parallel overhead,
+phase-time percentiles) into a stdlib :mod:`sqlite3` database keyed by
+git revision and a hash of the run configuration.  Across commits this
+gives the repo what a single BENCH snapshot cannot: a *trajectory*.
+
+``repro history`` renders per-metric trend tables with ASCII sparklines;
+``repro history --check`` applies robust anomaly detection to the latest
+sample of each series and exits nonzero on regressions, making the DB a
+CI gate rather than a write-only log.
+
+Anomaly detection is median/MAD based (the robust z-score
+``0.6745 * |x - median| / MAD``), which tolerates the odd historical
+outlier that would wreck a mean/stddev gate.  Simulated-cycle series are
+*deterministic* — repeated runs of the same code produce identical
+values, so MAD is frequently exactly zero; in that case the check falls
+back to a relative-deviation threshold (default 5%), which is what lets
+a synthetic 20% cycle regression trip the gate against a flat history.
+
+Direction matters: ``*.cycles`` or ``*_seconds`` going *down* is an
+improvement, ``*speedup*`` or ``*rate*`` going down is a regression.
+:func:`metric_direction` infers this from the metric name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+SCHEMA_VERSION = 1
+
+#: default robust z-score threshold (|0.6745 * dev / MAD|); 3.5 is the
+#: classic Iglewicz-Hoaglin cutoff for modified z-scores
+DEFAULT_THRESHOLD = 3.5
+
+#: relative-deviation fallback when MAD == 0 (deterministic series)
+DEFAULT_REL_FLOOR = 0.05
+
+#: minimum number of *historical* samples (excluding the latest) before
+#: a series is eligible for anomaly checking
+MIN_HISTORY = 2
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    created_at REAL NOT NULL,
+    kind TEXT NOT NULL,
+    git_rev TEXT NOT NULL,
+    config_hash TEXT NOT NULL,
+    payload TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS samples (
+    run_id INTEGER NOT NULL REFERENCES runs(id),
+    name TEXT NOT NULL,
+    value REAL NOT NULL,
+    PRIMARY KEY (run_id, name)
+);
+CREATE INDEX IF NOT EXISTS samples_by_name ON samples(name, run_id);
+"""
+
+
+def git_revision(cwd: Optional[str] = None) -> str:
+    """The short git revision of ``cwd`` (or the process cwd); a stable
+    ``"unknown"`` outside a work tree so recording never fails."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else "unknown"
+
+
+def config_hash(config: object) -> str:
+    """A short stable hash over a JSON-serializable run configuration."""
+    canonical = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class RunRecord:
+    """One recorded run: identity plus its flat metric samples."""
+
+    id: int
+    created_at: float
+    kind: str
+    git_rev: str
+    config_hash: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+    payload: Dict[str, object] = field(default_factory=dict)
+
+
+class RunHistory:
+    """The append-only sqlite-backed run store.
+
+    Usable as a context manager; ``record()`` commits immediately, so a
+    crash after recording loses nothing.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+        self._conn.execute(
+            "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+            ("schema_version", str(SCHEMA_VERSION)),
+        )
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "RunHistory":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- writing -----------------------------------------------------------
+
+    def record(
+        self,
+        kind: str,
+        metrics: Dict[str, float],
+        payload: Optional[Dict[str, object]] = None,
+        git_rev: Optional[str] = None,
+        config: object = None,
+        created_at: Optional[float] = None,
+    ) -> int:
+        """Append one run; returns its row id.
+
+        Non-finite and non-numeric metric values are dropped rather than
+        poisoning later statistics.
+        """
+        rev = git_rev if git_rev is not None else git_revision()
+        cursor = self._conn.execute(
+            "INSERT INTO runs (created_at, kind, git_rev, config_hash, payload)"
+            " VALUES (?, ?, ?, ?, ?)",
+            (
+                created_at if created_at is not None else time.time(),
+                kind,
+                rev,
+                config_hash(config) if config is not None else "",
+                json.dumps(payload or {}, sort_keys=True, default=str),
+            ),
+        )
+        run_id = cursor.lastrowid
+        rows = []
+        for name, value in metrics.items():
+            try:
+                number = float(value)
+            except (TypeError, ValueError):
+                continue
+            if number != number or number in (float("inf"), float("-inf")):
+                continue
+            rows.append((run_id, name, number))
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO samples (run_id, name, value) VALUES (?, ?, ?)",
+            rows,
+        )
+        self._conn.commit()
+        return int(run_id)
+
+    # -- reading -----------------------------------------------------------
+
+    def runs(self, kind: Optional[str] = None, limit: int = 0) -> List[RunRecord]:
+        """Recorded runs in id (append) order, optionally the last
+        ``limit`` of one ``kind``."""
+        query = "SELECT id, created_at, kind, git_rev, config_hash, payload FROM runs"
+        params: Tuple[object, ...] = ()
+        if kind is not None:
+            query += " WHERE kind = ?"
+            params = (kind,)
+        query += " ORDER BY id DESC"
+        if limit:
+            query += f" LIMIT {int(limit)}"
+        rows = list(self._conn.execute(query, params))[::-1]
+        records = []
+        for row in rows:
+            record = RunRecord(
+                id=row[0], created_at=row[1], kind=row[2],
+                git_rev=row[3], config_hash=row[4],
+                payload=json.loads(row[5]),
+            )
+            for name, value in self._conn.execute(
+                "SELECT name, value FROM samples WHERE run_id = ? ORDER BY name",
+                (record.id,),
+            ):
+                record.metrics[name] = value
+            records.append(record)
+        return records
+
+    def series(
+        self, name: str, kind: Optional[str] = None, limit: int = 0
+    ) -> List[Tuple[int, float]]:
+        """``(run_id, value)`` pairs for metric ``name`` in append order."""
+        query = (
+            "SELECT samples.run_id, samples.value FROM samples"
+            " JOIN runs ON runs.id = samples.run_id WHERE samples.name = ?"
+        )
+        params: List[object] = [name]
+        if kind is not None:
+            query += " AND runs.kind = ?"
+            params.append(kind)
+        query += " ORDER BY samples.run_id DESC"
+        if limit:
+            query += f" LIMIT {int(limit)}"
+        return list(self._conn.execute(query, params))[::-1]
+
+    def metric_names(self, kind: Optional[str] = None) -> List[str]:
+        query = (
+            "SELECT DISTINCT samples.name FROM samples"
+            " JOIN runs ON runs.id = samples.run_id"
+        )
+        params: Tuple[object, ...] = ()
+        if kind is not None:
+            query += " WHERE runs.kind = ?"
+            params = (kind,)
+        return sorted(row[0] for row in self._conn.execute(query, params))
+
+
+# -- anomaly detection --------------------------------------------------------------
+
+
+def _median(values: Sequence[float]) -> float:
+    data = sorted(values)
+    mid = len(data) // 2
+    if len(data) % 2:
+        return data[mid]
+    return (data[mid - 1] + data[mid]) / 2.0
+
+
+def _mad(values: Sequence[float], center: float) -> float:
+    return _median([abs(value - center) for value in values])
+
+
+#: name fragments implying "lower is better" / "higher is better"
+_LOWER_BETTER = (
+    "cycles", "seconds", "_ns", ".ns", "overhead", "misses", "failures",
+    "crashes", "mismatches",
+)
+_HIGHER_BETTER = ("speedup", "rate", "per_sec", "hits", "throughput", "ips")
+
+
+def metric_direction(name: str) -> str:
+    """``"lower"`` / ``"higher"`` (= better) or ``"any"`` when unknown.
+
+    Unknown metrics are still checked, in both directions — a large jump
+    either way is worth flagging even without a goodness direction.
+    """
+    lowered = name.lower()
+    for fragment in _HIGHER_BETTER:
+        if fragment in lowered:
+            return "higher"
+    for fragment in _LOWER_BETTER:
+        if fragment in lowered:
+            return "lower"
+    return "any"
+
+
+@dataclass
+class Anomaly:
+    """One flagged series: the latest sample deviates regressively."""
+
+    metric: str
+    latest: float
+    median: float
+    mad: float
+    score: float
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.metric}: {self.detail}"
+
+
+def check_series(
+    name: str,
+    values: Sequence[float],
+    threshold: float = DEFAULT_THRESHOLD,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+    min_history: int = MIN_HISTORY,
+) -> Optional[Anomaly]:
+    """Flag the *latest* value of ``values`` against the rest.
+
+    Returns None when the series is too short, the deviation points in
+    the improving direction, or the deviation is within tolerance.
+    """
+    if len(values) < min_history + 1:
+        return None
+    history, latest = list(values[:-1]), float(values[-1])
+    center = _median(history)
+    spread = _mad(history, center)
+    deviation = latest - center
+    direction = metric_direction(name)
+    if direction == "lower" and deviation <= 0:
+        return None  # got faster/smaller: an improvement
+    if direction == "higher" and deviation >= 0:
+        return None  # got better: an improvement
+    if spread > 0:
+        score = 0.6745 * abs(deviation) / spread
+        if score <= threshold:
+            return None
+        detail = (
+            f"latest {latest:g} vs median {center:g} "
+            f"(robust z={score:.1f} > {threshold:g})"
+        )
+    else:
+        if center == 0:
+            if deviation == 0:
+                return None
+            score = float("inf")
+        else:
+            score = abs(deviation) / abs(center)
+            if score <= rel_floor:
+                return None
+        detail = (
+            f"latest {latest:g} vs flat history at {center:g} "
+            f"({100 * abs(deviation) / abs(center) if center else 0:.1f}% "
+            f"> {100 * rel_floor:g}% tolerance)"
+        )
+    return Anomaly(
+        metric=name, latest=latest, median=center,
+        mad=spread, score=score, detail=detail,
+    )
+
+
+def check_history(
+    history: RunHistory,
+    kind: Optional[str] = None,
+    metrics: Optional[Sequence[str]] = None,
+    limit: int = 50,
+    threshold: float = DEFAULT_THRESHOLD,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+) -> List[Anomaly]:
+    """Run :func:`check_series` over every (selected) metric; anomalies
+    in metric-name order."""
+    names = list(metrics) if metrics else history.metric_names(kind)
+    anomalies = []
+    for name in names:
+        values = [value for _, value in history.series(name, kind, limit)]
+        anomaly = check_series(name, values, threshold, rel_floor)
+        if anomaly is not None:
+            anomalies.append(anomaly)
+    return anomalies
+
+
+# -- rendering ----------------------------------------------------------------------
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """An ASCII(-art) sparkline of ``values`` (empty string when empty)."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _SPARK_BLOCKS[3] * len(values)
+    span = hi - lo
+    return "".join(
+        _SPARK_BLOCKS[min(7, int((value - lo) / span * 8))] for value in values
+    )
+
+
+def render_trend_table(
+    history: RunHistory,
+    kind: Optional[str] = None,
+    metrics: Optional[Sequence[str]] = None,
+    limit: int = 20,
+) -> str:
+    """The ``repro history`` trend table: one row per metric with its
+    sparkline, sample count, median, latest and relative delta."""
+    names = list(metrics) if metrics else history.metric_names(kind)
+    if not names:
+        return "(no recorded runs)"
+    rows: List[Tuple[str, str, str, str, str, str]] = []
+    for name in names:
+        values = [value for _, value in history.series(name, kind, limit)]
+        if not values:
+            continue
+        center = _median(values[:-1]) if len(values) > 1 else values[-1]
+        latest = values[-1]
+        delta = (
+            f"{100 * (latest - center) / abs(center):+.1f}%" if center else "n/a"
+        )
+        rows.append(
+            (
+                name,
+                str(len(values)),
+                sparkline(values),
+                f"{center:g}",
+                f"{latest:g}",
+                delta,
+            )
+        )
+    headers = ("metric", "n", "trend", "median", "latest", "delta")
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows)) if rows else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(headers[col].ljust(widths[col]) for col in range(len(headers))),
+        "  ".join("-" * widths[col] for col in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(row[col].ljust(widths[col]) for col in range(len(headers))))
+    return "\n".join(lines)

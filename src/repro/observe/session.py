@@ -56,14 +56,15 @@ from contextlib import contextmanager
 from typing import Iterator, Optional
 
 from .journal import DecisionJournal
+from .metrics import MetricsRegistry
 from .remarks import RemarkCollector
 from .stats import StatsRegistry
 from .trace import Tracer
 
 
 class CompilerSession:
-    """One observability scope: stats + remarks + tracer + journal
-    (+ faults, seed).
+    """One observability scope: stats + remarks + tracer + journal +
+    metrics (+ faults, seed).
 
     ``faults`` is an opaque slot deliberately untyped here: the fault
     registry lives in :mod:`repro.robust.faults`, which imports this
@@ -71,7 +72,10 @@ class CompilerSession:
     lazily by ``robust.faults.current_faults()`` on first use.
     """
 
-    __slots__ = ("name", "stats", "remarks", "tracer", "journal", "faults", "seed")
+    __slots__ = (
+        "name", "stats", "remarks", "tracer", "journal", "metrics",
+        "faults", "seed",
+    )
 
     def __init__(
         self,
@@ -80,6 +84,7 @@ class CompilerSession:
         remarks: Optional[RemarkCollector] = None,
         tracer: Optional[Tracer] = None,
         journal: Optional[DecisionJournal] = None,
+        metrics: Optional[MetricsRegistry] = None,
         faults: object = None,
         seed: Optional[int] = None,
     ) -> None:
@@ -88,6 +93,7 @@ class CompilerSession:
         self.remarks = remarks if remarks is not None else RemarkCollector()
         self.tracer = tracer if tracer is not None else Tracer()
         self.journal = journal if journal is not None else DecisionJournal()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.faults = faults
         self.seed = seed
 
@@ -98,7 +104,7 @@ class CompilerSession:
         fresh_remarks: bool = False,
     ) -> "CompilerSession":
         """A child session sharing this session's
-        tracer/remarks/journal/faults.
+        tracer/remarks/journal/metrics/faults.
 
         ``fresh_stats=True`` (the default) gives the child its own
         counter registry — the isolation ``compile_module`` relies on.
@@ -106,7 +112,10 @@ class CompilerSession:
         collector (used by bundle/artifact writers that must not leak
         remarks into the caller's stream).  The decision journal is
         always shared: like remarks, journal events are a narrative the
-        *caller* reads after the fact.
+        *caller* reads after the fact.  The metrics registry is likewise
+        always shared, so histogram observations made in a derived
+        compile session accumulate directly into the parent's
+        distributions — "merging" child histograms is free.
         """
         return CompilerSession(
             name=name or f"{self.name}.child",
@@ -114,6 +123,7 @@ class CompilerSession:
             remarks=RemarkCollector() if fresh_remarks else self.remarks,
             tracer=self.tracer,
             journal=self.journal,
+            metrics=self.metrics,
             faults=self.faults,
             seed=self.seed,
         )
@@ -162,6 +172,10 @@ def current_remarks() -> RemarkCollector:
 
 def current_journal() -> DecisionJournal:
     return current_session().journal
+
+
+def current_metrics() -> MetricsRegistry:
+    return current_session().metrics
 
 
 # -- deprecated singleton aliases (the shim) ---------------------------------

@@ -34,6 +34,7 @@ from ..machine.targets import DEFAULT_TARGET, TargetMachine
 from ..observe import STAT
 from ..observe.session import (
     CompilerSession,
+    current_metrics,
     current_remarks,
     current_session,
     current_stats,
@@ -213,6 +214,26 @@ def _guarded_compile_in_session(
     reduce_bundle: bool,
 ) -> GuardedResult:
     _GUARDED.add()
+    guard_timer = current_metrics().timer(
+        "guard.compile.seconds", "wall seconds per guarded compilation"
+    )
+    with guard_timer:
+        return _run_guarded_ladder(
+            module, config, target, unroll_factor, ladder,
+            phase_budget_seconds, bundle_dir, reduce_bundle,
+        )
+
+
+def _run_guarded_ladder(
+    module: Module,
+    config: SLPConfig,
+    target: TargetMachine,
+    unroll_factor: int,
+    ladder: Optional[Sequence[str]],
+    phase_budget_seconds: Optional[float],
+    bundle_dir: Optional[str],
+    reduce_bundle: bool,
+) -> GuardedResult:
     outcome = GuardedResult(
         result=None,  # type: ignore[arg-type]  # filled below, always
         requested_config=config.name,
@@ -370,6 +391,10 @@ def _record_failure(
         _VERIFIER_ROLLBACKS.add()
     else:
         _EXCEPTION_ROLLBACKS.add()
+    current_metrics().observe(
+        "guard.recovery.seconds", seconds,
+        description="wall seconds lost to a rolled-back phase",
+    )
     if action == "skip-phase":
         _PHASE_SKIPS.add()
     elif action == "descend-ladder":

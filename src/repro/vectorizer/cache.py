@@ -242,9 +242,13 @@ def cached_compile_module(
         )
     target_session = session if session is not None else current_session()
     key = cache_key(module, config, target, unroll_factor)
-    cached = cache.lookup(key)
+    with target_session.metrics.timer(
+        "cache.lookup.seconds", "wall seconds per compile-cache lookup"
+    ):
+        cached = cache.lookup(key)
     if cached is not None:
         STAT_HITS.resolve(target_session.stats).add()
+        _gauge_hit_rate(target_session)
         for name, value in sorted(cached.counters.items()):
             target_session.stats.stat(name).add(value)
         target_session.remarks.analysis(
@@ -259,9 +263,25 @@ def cached_compile_module(
         )
         return cached
     STAT_MISSES.resolve(target_session.stats).add()
+    _gauge_hit_rate(target_session)
     result = compile_module(
         module, config, target,
         verify=verify, unroll_factor=unroll_factor, session=session,
     )
     cache.store(key, result)
     return result
+
+
+def _gauge_hit_rate(session: CompilerSession) -> None:
+    """Keep the ``cache.hit_rate`` gauge current with the session's
+    hit/miss counters (no-op while metrics are disabled)."""
+    if not session.metrics.enabled:
+        return
+    hits = session.stats.value(STAT_HITS.name)
+    misses = session.stats.value(STAT_MISSES.name)
+    total = hits + misses
+    if total:
+        session.metrics.gauge(
+            "cache.hit_rate", hits / total,
+            description="compile-cache hits / lookups for this session",
+        )

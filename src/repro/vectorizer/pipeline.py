@@ -28,6 +28,7 @@ from ..ir.verifier import verify_module
 from ..machine.targets import DEFAULT_TARGET, TargetMachine
 from ..observe.session import (
     CompilerSession,
+    current_metrics,
     current_session,
     current_tracer,
     use_session,
@@ -70,13 +71,19 @@ class CompilationResult:
 
 @contextmanager
 def _phase(name: str, phases: Dict[str, float]) -> Iterator[None]:
-    """Time one pipeline phase (always) and trace it (when enabled)."""
+    """Time one pipeline phase (always), trace it and feed its wall time
+    into the session phase-time histogram (each when enabled)."""
     with current_tracer().span(f"phase:{name}"):
         start = time.perf_counter()
         try:
             yield
         finally:
-            phases[name] = phases.get(name, 0.0) + time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            phases[name] = phases.get(name, 0.0) + elapsed
+            current_metrics().observe(
+                f"phase.{name}.seconds", elapsed,
+                description=f"wall seconds per '{name}' pipeline phase",
+            )
 
 
 #: a transform phase: mutates the module in place; the vectorize phase
@@ -167,6 +174,10 @@ def compile_module(
                 with _phase("verify", phases):
                     verify_module(working)
     assert report is not None  # pipeline_phases always yields vectorize
+    own.metrics.observe(
+        "compile.seconds", sum(phases.values()),
+        description="wall seconds per whole compilation",
+    )
     return CompilationResult(
         module=working,
         report=report,

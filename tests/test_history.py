@@ -1,0 +1,221 @@
+"""Run-history tests: the sqlite store, MAD anomaly gating with the
+relative fallback for deterministic series, trend rendering, and the
+``repro history`` CLI gate fed by ``repro bench --history-db``."""
+
+import pytest
+
+from repro.cli import main
+from repro.observe.history import (
+    Anomaly,
+    RunHistory,
+    check_history,
+    check_series,
+    config_hash,
+    metric_direction,
+    render_trend_table,
+    sparkline,
+)
+
+
+@pytest.fixture
+def db(tmp_path):
+    return str(tmp_path / "history.db")
+
+
+class TestRunHistory:
+    def test_record_and_roundtrip(self, db):
+        with RunHistory(db) as history:
+            first = history.record(
+                kind="bench",
+                metrics={"bench.total_cycles.SN-SLP": 2435.5},
+                payload={"note": "seed"},
+                git_rev="abc1234",
+                config={"kernel": "motiv-leaf-reorder"},
+            )
+            history.record(
+                kind="bench",
+                metrics={"bench.total_cycles.SN-SLP": 2435.5},
+                git_rev="abc1234",
+            )
+        with RunHistory(db) as history:
+            runs = history.runs(kind="bench")
+            assert [run.id for run in runs] == [first, first + 1]
+            assert runs[0].git_rev == "abc1234"
+            assert runs[0].payload == {"note": "seed"}
+            assert runs[0].metrics["bench.total_cycles.SN-SLP"] == 2435.5
+            series = history.series("bench.total_cycles.SN-SLP", kind="bench")
+            assert [value for _, value in series] == [2435.5, 2435.5]
+            assert history.metric_names() == ["bench.total_cycles.SN-SLP"]
+
+    def test_non_finite_samples_dropped(self, db):
+        with RunHistory(db) as history:
+            history.record(
+                kind="bench",
+                metrics={
+                    "good": 1.0,
+                    "nan": float("nan"),
+                    "inf": float("inf"),
+                    "text": "not-a-number",
+                },
+            )
+            assert history.metric_names() == ["good"]
+
+    def test_kind_filter(self, db):
+        with RunHistory(db) as history:
+            history.record(kind="bench", metrics={"m": 1.0})
+            history.record(kind="fuzz", metrics={"m": 2.0})
+            assert len(history.runs(kind="bench")) == 1
+            assert [v for _, v in history.series("m", kind="fuzz")] == [2.0]
+
+
+class TestConfigHash:
+    def test_stable_and_order_independent(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+        assert len(config_hash({})) == 12
+
+
+class TestMetricDirection:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("bench.total_cycles.SN-SLP", "lower"),
+            ("phase.vectorize.seconds.p99", "lower"),
+            ("parallel.overhead_seconds", "lower"),
+            ("bench.geomean_speedup.SN-SLP", "higher"),
+            ("cache.hit_rate", "higher"),
+            ("fuzz.programs_per_sec", "higher"),
+            ("slp.nodes-formed", "any"),
+        ],
+    )
+    def test_inference(self, name, expected):
+        assert metric_direction(name) == expected
+
+
+class TestCheckSeries:
+    def test_short_series_never_flags(self):
+        assert check_series("x.cycles", [100.0, 120.0]) is None
+
+    def test_flat_history_passes_when_unchanged(self):
+        assert check_series("x.cycles", [100.0, 100.0, 100.0]) is None
+
+    def test_flat_history_flags_20_percent_cycle_regression(self):
+        anomaly = check_series("x.cycles", [100.0, 100.0, 120.0])
+        assert isinstance(anomaly, Anomaly)
+        assert anomaly.latest == 120.0
+        assert "flat history" in anomaly.detail
+
+    def test_cycle_improvement_never_flags(self):
+        assert check_series("x.cycles", [100.0, 100.0, 50.0]) is None
+
+    def test_speedup_drop_flags_and_rise_passes(self):
+        assert check_series("geomean_speedup", [1.8, 1.8, 1.4]) is not None
+        assert check_series("geomean_speedup", [1.8, 1.8, 2.4]) is None
+
+    def test_small_relative_drift_tolerated(self):
+        assert check_series("x.cycles", [100.0, 100.0, 103.0]) is None
+
+    def test_mad_path_flags_large_outlier(self):
+        values = [100.0, 101.0, 99.0, 100.0, 100.5, 200.0]
+        anomaly = check_series("x.cycles", values)
+        assert anomaly is not None
+        assert "robust z" in anomaly.detail
+
+    def test_mad_path_tolerates_normal_scatter(self):
+        assert check_series("x.cycles", [100.0, 101.0, 99.0, 100.5]) is None
+
+    def test_undirected_metric_flags_both_ways(self):
+        assert check_series("nodes", [10.0, 10.0, 20.0]) is not None
+        assert check_series("nodes", [10.0, 10.0, 5.0]) is not None
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series_uses_middle_block(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▄▄▄"
+
+    def test_range_maps_to_blocks(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == "▁" and line[1] == "█"
+
+
+class TestCheckHistoryAndRendering:
+    def test_check_history_flags_only_regressed_series(self, db):
+        with RunHistory(db) as history:
+            for cycles in (100.0, 100.0, 100.0):
+                history.record(
+                    kind="bench",
+                    metrics={"k.cycles": cycles, "k.speedup": 1.8},
+                )
+            history.record(kind="bench", metrics={"k.cycles": 120.0})
+            anomalies = check_history(history, kind="bench")
+            assert [a.metric for a in anomalies] == ["k.cycles"]
+
+    def test_trend_table_lists_metrics(self, db):
+        with RunHistory(db) as history:
+            history.record(kind="bench", metrics={"k.cycles": 100.0})
+            history.record(kind="bench", metrics={"k.cycles": 110.0})
+            table = render_trend_table(history, kind="bench")
+        assert "k.cycles" in table
+        assert "+10.0%" in table
+
+
+class TestHistoryCLI:
+    #: deterministic bench series (pure functions of the code, no wall
+    #: clock) — what the CI gate checks
+    GATED = ["bench.total_cycles.SN-SLP", "bench.geomean_speedup.SN-SLP"]
+
+    def _seed(self, db, runs=3):
+        for _ in range(runs):
+            assert main(
+                ["bench", "--kernel", "motiv-leaf-reorder", "--jobs", "1",
+                 "--history-db", db]
+            ) == 0
+
+    def _gate(self, db):
+        argv = ["history", "--db", db, "--check", "--kind", "bench"]
+        for metric in self.GATED:
+            argv += ["--metric", metric]
+        return main(argv)
+
+    def test_missing_db_is_usage_error(self, tmp_path, capsys):
+        assert main(["history", "--db", str(tmp_path / "absent.db")]) == 2
+
+    def test_unmodified_trajectory_passes_gate(self, db, capsys):
+        self._seed(db)
+        assert self._gate(db) == 0
+        assert "no regressions" in capsys.readouterr().err
+
+    def test_synthetic_20_percent_cycle_regression_trips_gate(self, db, capsys):
+        self._seed(db)
+        with RunHistory(db) as history:
+            (_, baseline), = history.series(
+                "bench.total_cycles.SN-SLP", kind="bench", limit=1
+            )
+            history.record(
+                kind="bench",
+                metrics={"bench.total_cycles.SN-SLP": baseline * 1.2},
+            )
+        assert self._gate(db) == 6
+        err = capsys.readouterr().err
+        assert "bench.total_cycles.SN-SLP" in err
+
+    def test_improvement_passes_gate(self, db):
+        self._seed(db)
+        with RunHistory(db) as history:
+            (_, baseline), = history.series(
+                "bench.total_cycles.SN-SLP", kind="bench", limit=1
+            )
+            history.record(
+                kind="bench",
+                metrics={"bench.total_cycles.SN-SLP": baseline * 0.8},
+            )
+        assert self._gate(db) == 0
+
+    def test_json_dump(self, db, capsys):
+        self._seed(db, runs=1)
+        assert main(["history", "--db", db, "--json"]) == 0
+        out = capsys.readouterr().out
+        assert '"bench.total_cycles.SN-SLP"' in out

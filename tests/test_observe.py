@@ -105,6 +105,76 @@ class TestTracer:
         assert tracer.events == []
 
 
+class TestTracerEdgeCases:
+    def test_zero_duration_span_still_recorded_with_depth(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("instant"):
+                pass  # may complete within one clock tick
+        instant = tracer.named("instant")[0]
+        assert instant.duration_ns >= 0
+        assert instant.depth == 1
+
+    def test_contains_is_inclusive_on_equal_intervals(self):
+        from repro.observe.trace import TraceEvent
+
+        a = TraceEvent(name="a", start_ns=100, duration_ns=50, depth=0)
+        b = TraceEvent(name="b", start_ns=100, duration_ns=50, depth=1)
+        # containment is symmetric for equal intervals — profile-tree
+        # reconstruction must break the tie with the recorded depth
+        assert a.contains(b) and b.contains(a)
+
+    def test_contains_rejects_partial_overlap(self):
+        from repro.observe.trace import TraceEvent
+
+        a = TraceEvent(name="a", start_ns=0, duration_ns=100, depth=0)
+        b = TraceEvent(name="b", start_ns=50, duration_ns=100, depth=1)
+        assert not a.contains(b)
+        assert not b.contains(a)
+
+    def test_span_recorded_even_when_body_raises(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("failing"):
+                    raise RuntimeError("boom")
+        assert [e.name for e in tracer.events] == ["failing", "outer"]
+        assert tracer._stack == []  # both spans unwound
+
+    def test_depths_recover_after_exception(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("first"):
+                raise ValueError
+        with tracer.span("second"):
+            pass
+        assert tracer.named("second")[0].depth == 0
+
+    def test_tracer_shared_across_derived_sessions(self):
+        from repro.observe.session import CompilerSession, use_session
+        from repro.observe.session import current_tracer
+
+        parent = CompilerSession(name="parent")
+        parent.tracer.enable()
+        child = parent.derive(name="child")
+        assert child.tracer is parent.tracer
+        with use_session(child):
+            with current_tracer().span("from-child"):
+                pass
+        assert [e.name for e in parent.tracer.events] == ["from-child"]
+
+    def test_enable_mid_run_only_records_later_spans(self):
+        t = Tracer()
+        with t.span("before"):
+            pass
+        t.enable()
+        with t.span("after"):
+            pass
+        assert [e.name for e in t.events] == ["after"]
+
+    def test_disabled_tracer_span_is_shared_null(self):
+        t = Tracer()
+        assert t.span("a") is _NULL_SPAN
+        assert t.span("b", arg=1) is _NULL_SPAN
+
+
 class TestStats:
     def test_stat_returns_singleton_handle(self):
         registry = StatsRegistry()

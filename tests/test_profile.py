@@ -1,0 +1,149 @@
+"""Profile tests: span-tree reconstruction, self-time attribution,
+collapsed-stack (folded) export, and the ``repro profile`` CLI."""
+
+import re
+
+from repro.cli import main
+from repro.kernels import kernel_named
+from repro.observe.profile import (
+    build_trees,
+    folded_stacks,
+    render_top_table,
+    self_time_stats,
+)
+from repro.observe.session import CompilerSession, use_session
+from repro.observe.trace import TraceEvent
+from repro.vectorizer import SNSLP_CONFIG, compile_module
+
+
+def _event(name, start, duration, depth, pid=0):
+    return TraceEvent(
+        name=name, start_ns=start, duration_ns=duration, depth=depth, pid=pid
+    )
+
+
+# a root covering two children; completion order (children first) as the
+# tracer records them
+SIMPLE = [
+    _event("clone", 100, 200, 1),
+    _event("vectorize", 400, 500, 1),
+    _event("compile", 0, 1000, 0),
+]
+
+
+class TestBuildTrees:
+    def test_children_attach_under_root(self):
+        (root,) = build_trees(SIMPLE)
+        assert root.event.name == "compile"
+        assert [child.event.name for child in root.children] == [
+            "clone", "vectorize",
+        ]
+
+    def test_self_time_subtracts_children(self):
+        (root,) = build_trees(SIMPLE)
+        assert root.self_ns == 1000 - 200 - 500
+
+    def test_self_time_clamped_at_zero(self):
+        # overlapping child clock reads can over-cover the parent; the
+        # clamp keeps self time at zero instead of going negative
+        events = [
+            _event("child1", 0, 600, 1),
+            _event("child2", 300, 700, 1),
+            _event("parent", 0, 1000, 0),
+        ]
+        (root,) = build_trees(events)
+        assert root.event.name == "parent"
+        assert len(root.children) == 2
+        assert root.self_ns == 0
+
+    def test_zero_duration_equal_intervals_nest_by_depth(self):
+        events = [
+            _event("inner", 500, 0, 1),
+            _event("outer", 500, 0, 0),
+        ]
+        (root,) = build_trees(events)
+        assert root.event.name == "outer"
+        assert root.children[0].event.name == "inner"
+
+    def test_workers_form_separate_forests(self):
+        events = SIMPLE + [_event("compile", 0, 1000, 0, pid=77)]
+        roots = build_trees(events)
+        assert len(roots) == 2
+        assert sorted(root.event.pid for root in roots) == [0, 77]
+
+
+class TestSelfTimeStats:
+    def test_aggregates_and_orders_by_self_time(self):
+        stats = self_time_stats(SIMPLE)
+        assert [entry.name for entry in stats] == [
+            "vectorize", "compile", "clone",
+        ]
+        by_name = {entry.name: entry for entry in stats}
+        assert by_name["compile"].cumulative_ns == 1000
+        assert by_name["compile"].self_ns == 300
+        assert by_name["vectorize"].self_ns == 500
+
+    def test_repeated_spans_accumulate(self):
+        events = SIMPLE + SIMPLE
+        by_name = {entry.name: entry for entry in self_time_stats(events)}
+        assert by_name["clone"].count == 2
+        assert by_name["clone"].self_ns == 400
+
+    def test_top_table_renders(self):
+        table = render_top_table(self_time_stats(SIMPLE), limit=2)
+        assert "self ms" in table and "phase" in table
+        assert "vectorize" in table
+        assert "clone" not in table  # beyond the limit
+
+
+class TestFoldedStacks:
+    def test_stack_paths_and_microsecond_weights(self):
+        folded = folded_stacks(SIMPLE)
+        lines = folded.strip().splitlines()
+        assert "compile;clone 1" in lines  # 200ns self → min weight 1
+        assert "compile;vectorize 1" in lines
+        assert all(re.fullmatch(r"[^ ]+ \d+", line) for line in lines)
+
+    def test_zero_self_time_frames_are_omitted(self):
+        events = [
+            _event("child", 0, 1000, 1),
+            _event("parent", 0, 1000, 0),  # zero self time
+        ]
+        folded = folded_stacks(events)
+        assert "parent;child 1" in folded
+        assert "\nparent " not in folded and not folded.startswith("parent ")
+
+    def test_worker_roots_get_pid_prefix(self):
+        events = [_event("compile", 0, 5000, 0, pid=42)]
+        assert folded_stacks(events) == "pid42;compile 5\n"
+
+    def test_real_compile_produces_parseable_folded_output(self):
+        session = CompilerSession(name="profile-test")
+        session.tracer.enable()
+        with use_session(session):
+            compile_module(kernel_named("motiv-leaf-reorder").build(), SNSLP_CONFIG)
+        folded = folded_stacks(session.tracer.events)
+        lines = folded.strip().splitlines()
+        assert lines
+        for line in lines:
+            assert re.fullmatch(r"\S+(;\S+)* \d+", line), line
+        assert any(line.startswith("compile;") for line in lines)
+
+
+class TestProfileCLI:
+    def test_profile_kernel_writes_folded_and_table(self, tmp_path, capsys):
+        folded_path = tmp_path / "profile.folded"
+        assert main(
+            ["profile", "motiv-leaf-reorder", "--folded", str(folded_path)]
+        ) == 0
+        out = capsys.readouterr()
+        assert "self ms" in out.out
+        assert "compile" in out.out
+        text = folded_path.read_text()
+        for line in text.strip().splitlines():
+            assert re.fullmatch(r"\S+(;\S+)* \d+", line), line
+        assert "simulate" in text
+
+    def test_profile_unknown_kernel_is_usage_error(self, capsys):
+        assert main(["profile", "no-such-kernel"]) == 2
+        assert "no such file" in capsys.readouterr().err
