@@ -1,4 +1,4 @@
-"""Process-parallel benchmark execution.
+"""Process-parallel benchmark execution over the compile service.
 
 The benchmark matrix is embarrassingly parallel: every (kernel,
 configuration) pair compiles and simulates independently, and PR 4's
@@ -10,6 +10,16 @@ data), so a parallel run is bit-identical to the serial one on cycles,
 counters, vectorization statistics and correctness — only the wall-clock
 ``compile_seconds``/``phase_seconds`` fields differ, as they do between
 any two serial runs.
+
+Since PR 7 the fan-out goes through
+:class:`~repro.serve.service.CompileService` — a persistent pool of
+warm-session workers (see :mod:`repro.serve`) — instead of a throwaway
+``ProcessPoolExecutor`` per call.  Callers can pass their own running
+``service=`` (the ``repro bench --service`` path: one pool for the whole
+invocation, shared result cache across runs); otherwise an ephemeral
+service is spun up for the call, which is the old semantics with the new
+transport.  Tasks are sharded by *kernel name* so repeat compiles of one
+kernel hit the worker that already holds its warm state.
 
 Workers receive *names*, not objects: kernels, programs, configs and
 targets are all resolvable from registries
@@ -25,7 +35,6 @@ worker in the Chrome trace).
 from __future__ import annotations
 
 import os
-import pickle
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -56,9 +65,6 @@ WorkerCapture = Dict[str, object]
 _OVERHEAD_SECONDS = STAT(
     "parallel.overhead_seconds",
     "pool wall beyond the ideal jobs-way split of in-worker time",
-)
-_MARSHAL_SECONDS = STAT(
-    "parallel.marshal_seconds", "seconds pickling worker payloads"
 )
 _SPAWN_SECONDS = STAT(
     "parallel.spawn_seconds",
@@ -212,6 +218,7 @@ def run_suite_parallel(
     seed: int = DEFAULT_SEED,
     jobs: Optional[int] = None,
     journal: bool = False,
+    service=None,
 ) -> Dict[str, Dict[str, KernelRun]]:
     """Run every (kernel, config) pair of the suite, sharded over
     processes; returns ``{kernel_name: {config_name: KernelRun}}``.
@@ -224,6 +231,11 @@ def run_suite_parallel(
     order again, so the merged streams are deterministic).
     ``journal=True`` attaches a per-run decision-journal summary to each
     :class:`KernelRun`.
+
+    ``service=`` reuses a running
+    :class:`~repro.serve.service.CompileService` (warm workers + shared
+    result cache across calls); without one an ephemeral service is
+    started for this call.
 
     Overhead attribution: the parallel path records, into the *parent*
     session only, how much task wall clock was spent outside workers —
@@ -242,54 +254,62 @@ def run_suite_parallel(
         kernels, configs, target, seed, trace, remarks, journal, metrics
     )
     jobs = _resolve_jobs(jobs)
-    if jobs <= 1 or len(payloads) <= 1:
+    if service is None and (jobs <= 1 or len(payloads) <= 1):
         outcomes = [_run_pair(payload) for payload in payloads]
         for _, capture in outcomes:
             _merge_capture(parent, capture)
     else:
-        outcomes = _dispatch(parent, payloads, jobs)
+        outcomes = _dispatch(parent, payloads, jobs, service=service)
     return _assemble(kernels, configs, [run for run, _ in outcomes])
 
 
 def _dispatch(
-    parent: CompilerSession, payloads: Sequence[PairPayload], jobs: int
+    parent: CompilerSession,
+    payloads: Sequence[PairPayload],
+    jobs: int,
+    service=None,
 ) -> List[Tuple[KernelRun, WorkerCapture]]:
-    """Fan payloads over a process pool, measuring dispatch overhead.
+    """Fan payloads over the compile service, measuring dispatch overhead.
 
-    Each payload's pickling cost is timed explicitly (that is the
-    marshal the pool would otherwise hide), and every worker ships back
-    its in-worker wall seconds.  ``parallel.overhead_seconds`` is the
-    pool wall clock minus the perfectly-parallel worker time
-    (``sum(worker_seconds) / workers``) — exactly the gap between the
-    observed jobs=N time and the ideal N-way split, so a
-    slower-than-serial run is attributable to spawn + marshal + IPC +
-    imbalance rather than "the kernels got slower".  Per-task
-    turnaround (submit to done-callback, queueing included) lands in a
-    histogram.  All derived counters and histograms go to the *parent*
-    session, never into the per-run counter snapshots.
+    Payload pickling cost is timed by the service submit path (the
+    ``parallel.marshal_seconds`` counter / ``parallel.task.marshal_seconds``
+    histogram now measure the real encode of each payload), and every
+    worker ships back its in-worker wall seconds.
+    ``parallel.overhead_seconds`` is the pool wall clock minus the
+    perfectly-parallel worker time (``sum(worker_seconds) / workers``) —
+    exactly the gap between the observed jobs=N time and the ideal N-way
+    split, so a slower-than-serial run is attributable to spawn +
+    marshal + IPC + imbalance rather than "the kernels got slower".
+    Per-task turnaround (submit to done-callback, queueing included)
+    lands in a histogram.  All derived counters and histograms go to the
+    *parent* session, never into the per-run counter snapshots.
     """
-    from concurrent.futures import ProcessPoolExecutor
+    from ..serve.service import CompileService
 
     stats = parent.stats
     session_metrics = parent.metrics
     done_at: Dict[int, float] = {}
     submit_at: List[float] = []
+    owns_service = service is None
     pool_start = time.perf_counter()
-    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+    if owns_service:
+        service = CompileService(
+            workers=min(jobs, len(payloads)),
+            session=parent,
+            name="bench-pool",
+        )
+        service.start()
+    use_cache = service.result_cache_enabled
+    try:
         with parent.tracer.span("parallel:submit", tasks=len(payloads)):
             futures = []
             for index, payload in enumerate(payloads):
-                marshal_start = time.perf_counter()
-                pickle.loads(pickle.dumps(payload))
-                marshal_seconds = time.perf_counter() - marshal_start
-                _MARSHAL_SECONDS.resolve(stats).add(marshal_seconds)
-                session_metrics.observe(
-                    "parallel.task.marshal_seconds", marshal_seconds,
-                    description="payload pickle round-trip seconds per task",
-                )
                 _TASKS.resolve(stats).add()
                 submit_at.append(time.perf_counter())
-                future = pool.submit(_run_pair, payload)
+                future = service.submit(
+                    "bench-pair", (payload, use_cache),
+                    shard_key=payload[0],
+                )
                 future.add_done_callback(
                     lambda _, i=index: done_at.__setitem__(
                         i, time.perf_counter()
@@ -297,8 +317,11 @@ def _dispatch(
                 )
                 futures.append(future)
         outcomes = [future.result() for future in futures]
+    finally:
+        if owns_service:
+            service.close()
     pool_wall = time.perf_counter() - pool_start
-    workers = min(jobs, len(payloads))
+    workers = min(service.workers, len(payloads))
     worker_total = 0.0
     with parent.tracer.span("parallel:merge", tasks=len(payloads)):
         for index, (_, capture) in enumerate(outcomes):
@@ -340,6 +363,24 @@ def _dispatch(
 
 # -- figure-level workers -----------------------------------------------------------
 
+
+def _service_map(kind: str, payloads: Sequence[object], jobs: int) -> List[object]:
+    """Run ``payloads`` through an ephemeral compile service, in order."""
+    from ..serve.service import CompileService
+
+    service = CompileService(
+        workers=min(jobs, len(payloads)),
+        session=current_session(),
+        name=f"{kind}-pool",
+    )
+    service.start()
+    try:
+        futures = [service.submit(kind, payload) for payload in payloads]
+        return [future.result() for future in futures]
+    finally:
+        service.close()
+
+
 #: (program_name, config_name, target_name, seed, bulk_trip)
 ProgramPayload = Tuple[str, str, str, int, int]
 
@@ -369,10 +410,8 @@ def run_program_grid_parallel(
     bulk_trip: int,
     jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
-    """Fan (program, config) cycle measurements out over processes;
-    returns ``{program_name: {config_name: cycle_data}}``."""
-    from concurrent.futures import ProcessPoolExecutor
-
+    """Fan (program, config) cycle measurements out over the compile
+    service; returns ``{program_name: {config_name: cycle_data}}``."""
     payloads: List[ProgramPayload] = [
         (program, config, target.name, seed, bulk_trip)
         for program in program_names
@@ -382,8 +421,7 @@ def run_program_grid_parallel(
     if jobs <= 1 or len(payloads) <= 1:
         results = [_run_program_config(payload) for payload in payloads]
     else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
-            results = list(pool.map(_run_program_config, payloads))
+        results = _service_map("program-grid", payloads, jobs)
     grid: Dict[str, Dict[str, Dict[str, float]]] = {}
     cursor = 0
     for program in program_names:
@@ -430,13 +468,10 @@ def time_kernels_parallel(
     jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Figure 11 rows, one worker per kernel, in kernel order."""
-    from concurrent.futures import ProcessPoolExecutor
-
     payloads: List[TimingPayload] = [
         (kernel.name, target.name, runs, warmup) for kernel in kernels
     ]
     jobs = _resolve_jobs(jobs)
     if jobs <= 1 or len(payloads) <= 1:
         return [_time_kernel(payload) for payload in payloads]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
-        return list(pool.map(_time_kernel, payloads))
+    return _service_map("fig11-timing", payloads, jobs)

@@ -62,6 +62,8 @@ from .ir.parser import ParseError
 from .ir.verifier import VerificationError
 from .machine import DEFAULT_TARGET, target_named
 from .observe.session import CompilerSession, current_session, use_session
+from .serve.service import ServiceError
+from .serve.service import TaskTimeout as ServeTaskTimeout
 from .sim import simulate
 from .vectorizer import ALL_CONFIGS, compile_module, config_named
 
@@ -152,7 +154,8 @@ _HISTORY_CONFIG_EXCLUDE = frozenset(
     {
         "fn", "_stats_printed", "history_db", "metrics_out", "trace_out",
         "remarks", "journal", "out", "output", "stats", "verbose", "json",
-        "folded", "dot", "dot_worst", "emit_ir", "show",
+        "folded", "dot", "dot_worst", "emit_ir", "show", "cache_dir",
+        "socket",
     }
 )
 
@@ -703,18 +706,33 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             args._stats_printed = True
         return EXIT_OK if report.ok else EXIT_MISMATCH
 
-    result = run_campaign(
-        budget=args.budget,
-        seed=args.seed,
-        out_dir=args.out,
-        target=target,
-        input_seed=args.input_seed,
-        max_ulps=args.max_ulps,
-        reduce_failures=not args.no_reduce,
-        progress=lambda line: print(f"; {line}", file=sys.stderr),
-        jobs=args.jobs if args.jobs is not None else _default_jobs(),
-        session=current_session(),
-    )
+    service = None
+    if args.service:
+        from .serve.service import CompileService
+
+        service = CompileService(
+            workers=args.jobs if args.jobs is not None else _default_jobs(),
+            session=current_session(),
+            name="fuzz-service",
+        )
+        service.start()
+    try:
+        result = run_campaign(
+            budget=args.budget,
+            seed=args.seed,
+            out_dir=args.out,
+            target=target,
+            input_seed=args.input_seed,
+            max_ulps=args.max_ulps,
+            reduce_failures=not args.no_reduce,
+            progress=lambda line: print(f"; {line}", file=sys.stderr),
+            jobs=args.jobs if args.jobs is not None else _default_jobs(),
+            session=current_session(),
+            service=service,
+        )
+    finally:
+        if service is not None:
+            service.close()
     print(result.summary())
     if args.stats:
         print(
@@ -748,10 +766,38 @@ def cmd_bench(args: argparse.Namespace) -> int:
         except KeyError as exc:
             _usage(str(exc.args[0]) if exc.args else str(exc))
     jobs = args.jobs if args.jobs is not None else default_jobs()
-    suite = run_suite_parallel(
-        kernels, target=target, seed=args.seed, jobs=jobs,
-        journal=args.journal_summary,
-    )
+    service = None
+    if args.service:
+        from .serve.service import CompileService
+
+        service = CompileService(
+            workers=jobs,
+            cache_dir=args.cache_dir,
+            default_timeout=args.service_timeout,
+            session=current_session(),
+            name="bench-service",
+        )
+        service.start()
+    try:
+        suite = run_suite_parallel(
+            kernels, target=target, seed=args.seed, jobs=jobs,
+            journal=args.journal_summary, service=service,
+        )
+    finally:
+        if service is not None:
+            snapshot = service.describe()
+            service.close()
+            counters = snapshot["counters"]
+            print(
+                f"; service: {len(snapshot['workers'])} worker(s), "
+                f"{int(counters.get('serve.tasks', 0))} task(s), "
+                f"{snapshot['compiles_per_sec']:.2f} compiles/sec, "
+                f"task-cache hits "
+                f"{int(counters.get('serve.task_cache.hits', 0))}, "
+                f"cross-worker hits "
+                f"{int(counters.get('cache.cross_worker_hits', 0))}",
+                file=sys.stderr,
+            )
     exit_code = EXIT_OK
     rows: List[Dict] = []
     if not args.json:
@@ -960,6 +1006,45 @@ def cmd_bisect(args: argparse.Namespace) -> int:
         for index, description in enumerate(result.decisions, start=1):
             marker = " <-- first bad" if index == result.first_bad else ""
             print(f"  #{index:3d} {description}{marker}")
+    return EXIT_OK
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.service import CompileService
+    from .serve.wire import SocketServer, serve_stream
+
+    service = CompileService(
+        workers=args.jobs if args.jobs is not None else _default_jobs(),
+        cache_dir=args.cache_dir,
+        cache_entries=args.cache_entries,
+        max_pending=args.max_pending,
+        default_timeout=args.request_timeout,
+        session=current_session(),
+        name="serve",
+    )
+    service.start()
+    where = (
+        f"socket {args.socket}" if args.socket else "JSONL on stdin"
+    )
+    cache = f", cache {args.cache_dir}" if args.cache_dir else ""
+    print(
+        f"; repro serve: {service.workers} warm worker(s), {where}{cache}",
+        file=sys.stderr,
+    )
+    try:
+        if args.socket:
+            SocketServer(service, args.socket).serve_forever()
+        else:
+            serve_stream(service, sys.stdin, sys.stdout)
+    finally:
+        snapshot = service.describe()
+        service.close(drain=True)
+        print(
+            f"; served {int(snapshot['counters'].get('serve.tasks', 0))} "
+            f"task(s) at {snapshot['compiles_per_sec']:.2f} compiles/sec "
+            f"({snapshot['respawns']} respawn(s))",
+            file=sys.stderr,
+        )
     return EXIT_OK
 
 
@@ -1250,6 +1335,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for count budgets (default: all cores); "
         "results are bit-identical to a serial run",
     )
+    p_fuzz.add_argument(
+        "--service",
+        action="store_true",
+        help="dispatch count-budget chunks through a persistent "
+        "warm-worker compile service (see `repro serve`)",
+    )
     metrics_flags(p_fuzz)
     p_fuzz.set_defaults(fn=cmd_fuzz)
 
@@ -1299,8 +1390,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach a decision-journal summary to every run (JSON mode); "
         "off by default so bench results stay bit-identical",
     )
+    p_bench.add_argument(
+        "--service",
+        action="store_true",
+        help="run through a persistent warm-worker compile service: one "
+        "pool (and, with --cache-dir, one shared result cache) for the "
+        "whole invocation; results stay bit-identical to serial",
+    )
+    p_bench.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="with --service: shared cross-worker cache directory "
+        "(compile artifacts + bench-pair results, LRU-bounded)",
+    )
+    p_bench.add_argument(
+        "--service-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task deadline under --service; a timed-out task exits "
+        f"with code {EXIT_BUDGET}",
+    )
     metrics_flags(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the compile service: a persistent warm-worker pool "
+        "answering JSONL requests on stdin (or an AF_UNIX socket)",
+    )
+    p_serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="warm worker processes (default: all cores)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="shared cross-worker cache directory (compile artifacts + "
+        "bench-pair results); survives service restarts",
+    )
+    p_serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LRU size bound per cache namespace (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="bounded request queue: maximum unresolved tasks before "
+        "submissions block (backpressure)",
+    )
+    p_serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request deadline (a wedged task's worker is "
+        "killed and respawned)",
+    )
+    p_serve.add_argument(
+        "--socket",
+        metavar="PATH",
+        help="serve on an AF_UNIX socket at PATH instead of stdin/stdout",
+    )
+    metrics_flags(p_serve)
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_profile = sub.add_parser(
         "profile",
@@ -1445,6 +1606,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except BudgetExceededError as exc:
         print(f"repro: execution budget exceeded: {exc}", file=sys.stderr)
         return EXIT_BUDGET
+    except ServeTaskTimeout as exc:
+        # a service task blew its deadline: a budget problem, not a crash
+        print(f"repro: service task timed out: {exc}", file=sys.stderr)
+        return EXIT_BUDGET
+    except ServiceError as exc:
+        # worker crashed / service closed underneath us: internal error
+        print(f"repro: compile service failure: {exc}", file=sys.stderr)
+        return EXIT_CRASH
     except BrokenPipeError:
         # stdout closed early (| head, | grep -q): not a compiler bug.
         # Artifact files are written before tables, so nothing is lost.

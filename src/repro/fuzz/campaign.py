@@ -355,21 +355,24 @@ def run_campaign(
     progress: Optional[Callable[[str], None]] = None,
     jobs: Optional[int] = None,
     session: Optional[CompilerSession] = None,
+    service=None,
 ) -> CampaignResult:
     """Run one fuzzing campaign within ``budget``.
 
     The campaign stops early once ``max_failures`` distinct failing
     programs have been collected (reduction dominates runtime by then).
 
-    ``jobs > 1`` parallelizes *count* budgets across worker processes;
-    the merged result is bit-identical to the serial run (see the module
-    docstring).  Time budgets always run serial.
+    ``jobs > 1`` (or a running compile ``service=``) parallelizes
+    *count* budgets across worker processes; the merged result is
+    bit-identical to the serial run (see the module docstring).  Time
+    budgets always run serial.
     """
     kind, amount = parse_budget(budget)
     campaign = session if session is not None else current_session().derive(
         name="fuzz-campaign"
     )
-    if jobs is not None and jobs > 1 and kind == "count":
+    parallel = (jobs is not None and jobs > 1) or service is not None
+    if parallel and kind == "count":
         return _run_campaign_parallel(
             campaign,
             int(amount),
@@ -382,7 +385,8 @@ def run_campaign(
             reduce_failures,
             max_failures,
             progress,
-            jobs,
+            jobs if jobs is not None else 2,
+            service=service,
         )
     failures: List[FailureArtifact] = []
     started = time.perf_counter()
@@ -467,18 +471,22 @@ def _run_campaign_parallel(
     max_failures: int,
     progress: Optional[Callable[[str], None]],
     jobs: int,
+    service=None,
 ) -> CampaignResult:
     """Sharded count-budget campaign, merged to match the serial run.
 
-    Chunks of :data:`CHUNK_SIZE` consecutive indices are dispatched in
-    waves of ``jobs``; per-index summaries are then replayed *in index
-    order* through the same stop conditions the serial loop uses, so the
-    visited-program count, bucket statistics and failure set are
+    Chunks of :data:`CHUNK_SIZE` consecutive indices are submitted to
+    the compile service (an ephemeral warm pool unless the caller passed
+    a running ``service=``); per-index summaries are then replayed *in
+    index order* through the same stop conditions the serial loop uses,
+    so the visited-program count, bucket statistics and failure set are
     bit-identical regardless of ``jobs`` (indices computed beyond the
-    serial stopping point are simply discarded).  Failing indices are
+    serial stopping point are simply discarded).  Once ``max_failures``
+    is reached, not-yet-dispatched chunks are *cancelled* through the
+    service instead of computed and thrown away.  Failing indices are
     re-run serially in the parent to build reduction artifacts.
     """
-    from concurrent.futures import ProcessPoolExecutor
+    from ..serve.service import CompileService
 
     started = time.perf_counter()
     config_names = tuple(config.name for config in configs)
@@ -486,27 +494,34 @@ def _run_campaign_parallel(
         tuple(range(base, min(base + CHUNK_SIZE, count)))
         for base in range(0, count, CHUNK_SIZE)
     ]
+    owns_service = service is None
+    if owns_service:
+        service = CompileService(
+            workers=jobs, session=campaign, name="fuzz-pool"
+        )
+        service.start()
     summaries: List[Tuple[int, Dict[str, float], bool]] = []
-    failure_count = 0
-    stopped = False
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        cursor = 0
-        while cursor < len(chunks) and not stopped:
-            wave = chunks[cursor : cursor + jobs]
-            cursor += len(wave)
-            payloads = [
-                (chunk, seed, config_names, target.name, input_seed, max_ulps)
-                for chunk in wave
-            ]
-            for chunk_summaries in pool.map(_campaign_chunk_worker, payloads):
-                summaries.extend(chunk_summaries)
+    try:
+        futures = [
+            service.submit(
+                "fuzz-chunk",
+                (chunk, seed, config_names, target.name, input_seed, max_ulps),
+                weight=float(len(chunk) * len(config_names)),
+            )
+            for chunk in chunks
+        ]
+        failure_count = 0
+        for future in futures:
+            if failure_count >= max_failures:
+                service.cancel(future)
+                continue
+            summaries.extend(future.result())
             # Replay the serial stop condition over what we have so far:
             # once max_failures is reached, later chunks are dead weight.
-            failure_count = sum(
-                1 for _, _, failed in summaries if failed
-            )
-            if failure_count >= max_failures:
-                stopped = True
+            failure_count = sum(1 for _, _, failed in summaries if failed)
+    finally:
+        if owns_service:
+            service.close()
 
     # Serial-equivalent accounting pass, strictly in index order.
     failures: List[FailureArtifact] = []

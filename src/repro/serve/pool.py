@@ -1,0 +1,287 @@
+"""Persistent warm-worker pool.
+
+Each worker is a long-lived process holding one warm
+:class:`~repro.observe.session.CompilerSession` for its entire lifetime —
+the registries, interned opcode tables and kernel builders it touches
+stay resident, so task N+1 skips everything task N already paid for.
+That is the structural fix for the BENCH_pr6 regression
+(``parallel_speedup: 0.867`` at jobs=2): the old
+``ProcessPoolExecutor`` path re-paid process spawn and cold-session
+setup per *call site*, where this pool pays it once per service.
+
+Transport is a pair of OS pipes per worker (parent→worker tasks,
+worker→parent results) with explicit pickling, so the parent can time
+marshalling honestly (the ``parallel.marshal_seconds`` satellite fix
+lives in :mod:`repro.serve.service`, which does the ``pickle.dumps``
+itself before handing bytes to this pool).
+
+Protocol (all tuples, pickled):
+
+* parent → worker: ``(task_id, kind, payload_bytes)`` or the ``None``
+  sentinel meaning *drain and exit* — the worker finishes everything
+  already in its pipe first, then acknowledges and leaves.
+* worker → parent: ``(task_id, status, data_bytes, worker_seconds,
+  stats_delta)`` where ``status`` is ``"ok"`` or ``"error"``,
+  ``data_bytes`` pickles the result (or ``(exc_type_name, message)``)
+  and ``stats_delta`` is the warm session's counter delta for the task
+  (cache hits etc.), folded into the service session by the parent —
+  never into task results, so bit-identity with serial runs holds.
+
+Crash handling: the parent polls ``Process.is_alive()`` (pipe EOF is
+unreliable under ``fork`` because later workers inherit earlier workers'
+descriptors); a dead worker's buffered results are drained, the worker
+is respawned with fresh pipes under the same slot, and the service
+requeues whatever was in flight.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from multiprocessing import Pipe, Process, connection
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: wire tuples (see module docstring)
+TaskEnvelope = Tuple[int, str, bytes]
+ResultEnvelope = Tuple[int, str, bytes, float, Dict[str, float]]
+
+
+def _worker_main(
+    index: int,
+    task_recv: connection.Connection,
+    result_send: connection.Connection,
+    cache_dir: Optional[str],
+    cache_entries: Optional[int],
+    pool_name: str,
+) -> None:
+    """Worker loop: one warm session, tasks until sentinel or EOF."""
+    # Imports happen here, inside the child, so the parent's submit path
+    # never blocks on them and the warm cost is paid exactly once.
+    from ..observe.session import CompilerSession, use_session
+    from .tasks import WorkerState, run_task
+
+    session = CompilerSession(name=f"{pool_name}-worker:{index}")
+    state = WorkerState(
+        index=index,
+        session=session,
+        cache_dir=cache_dir,
+        cache_entries=cache_entries,
+    )
+    with use_session(session):
+        while True:
+            try:
+                envelope = task_recv.recv()
+            except (EOFError, OSError):
+                break
+            if envelope is None:  # drain sentinel
+                try:
+                    result_send.send((-1, "bye", b"", 0.0, {}))
+                except (OSError, BrokenPipeError):
+                    pass
+                break
+            task_id, kind, payload_bytes = envelope
+            started = time.perf_counter()
+            before = session.stats.snapshot()
+            try:
+                payload = pickle.loads(payload_bytes)
+                result = run_task(kind, payload, state)
+                status, data = "ok", pickle.dumps(result, protocol=-1)
+            except BaseException as exc:  # noqa: BLE001 - ship, don't die
+                status = "error"
+                data = pickle.dumps(
+                    (type(exc).__name__, str(exc)), protocol=-1
+                )
+            worker_seconds = time.perf_counter() - started
+            after = session.stats.snapshot()
+            delta = {
+                name: after[name] - before.get(name, 0.0)
+                for name in after
+                if after[name] != before.get(name, 0.0)
+            }
+            state.tasks_done += 1
+            try:
+                result_send.send(
+                    (task_id, status, data, worker_seconds, delta)
+                )
+            except (OSError, BrokenPipeError):
+                break
+
+
+@dataclass
+class Worker:
+    """One pool slot: process + its two parent-side pipe ends."""
+
+    index: int
+    generation: int
+    process: Process
+    task_send: connection.Connection
+    result_recv: connection.Connection
+    inflight: int = 0
+    tasks_sent: int = 0
+    busy_seconds: float = 0.0
+    started_at: float = field(default_factory=time.perf_counter)
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class WorkerPool:
+    """A fixed-size set of persistent workers with respawn-on-death.
+
+    The pool only moves bytes; scheduling (sharding, backpressure,
+    timeouts, requeue) lives in
+    :class:`~repro.serve.service.CompileService`.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        cache_dir: Optional[str] = None,
+        cache_entries: Optional[int] = None,
+        name: str = "serve",
+    ) -> None:
+        self.size = max(1, size)
+        self.cache_dir = cache_dir
+        self.cache_entries = cache_entries
+        self.name = name
+        self.workers: List[Worker] = []
+        self.respawns = 0
+        self._started = False
+
+    # -- lifecycle --
+
+    def start(self) -> float:
+        """Spawn all workers; returns the spawn wall seconds."""
+        started = time.perf_counter()
+        for index in range(self.size):
+            self.workers.append(self._spawn(index, generation=0))
+        self._started = True
+        return time.perf_counter() - started
+
+    def _spawn(self, index: int, generation: int) -> Worker:
+        task_recv, task_send = Pipe(duplex=False)
+        result_recv, result_send = Pipe(duplex=False)
+        process = Process(
+            target=_worker_main,
+            args=(
+                index, task_recv, result_send,
+                self.cache_dir, self.cache_entries, self.name,
+            ),
+            name=f"{self.name}-worker-{index}.{generation}",
+            daemon=True,
+        )
+        process.start()
+        # Close the child's ends in the parent so they are not leaked.
+        task_recv.close()
+        result_send.close()
+        return Worker(
+            index=index,
+            generation=generation,
+            process=process,
+            task_send=task_send,
+            result_recv=result_recv,
+        )
+
+    def respawn(self, index: int) -> Worker:
+        """Replace a (dead or wedged) worker with a fresh process."""
+        old = self.workers[index]
+        if old.process.is_alive():
+            old.process.terminate()
+            old.process.join(timeout=2.0)
+            if old.process.is_alive():  # pragma: no cover - stubborn child
+                old.process.kill()
+                old.process.join(timeout=2.0)
+        for conn in (old.task_send, old.result_recv):
+            try:
+                conn.close()
+            except OSError:
+                pass
+        fresh = self._spawn(index, generation=old.generation + 1)
+        self.workers[index] = fresh
+        self.respawns += 1
+        return fresh
+
+    # -- I/O --
+
+    def send(self, index: int, task_id: int, kind: str, payload: bytes) -> None:
+        worker = self.workers[index]
+        worker.task_send.send((task_id, kind, payload))
+        worker.inflight += 1
+        worker.tasks_sent += 1
+
+    def wait_any(
+        self,
+        timeout: Optional[float],
+        extra: Sequence[object] = (),
+    ) -> Tuple[List[Tuple[int, ResultEnvelope]], List[object], List[int]]:
+        """Block up to ``timeout`` for results, wake fds, or dead workers.
+
+        Returns ``(messages, ready_extras, dead_indices)`` where
+        ``messages`` are ``(worker_index, envelope)`` pairs in arrival
+        order and ``dead_indices`` lists workers found dead (after their
+        buffered results were drained).
+        """
+        conn_to_index = {w.result_recv: w.index for w in self.workers}
+        ready = connection.wait(
+            list(conn_to_index) + list(extra), timeout=timeout
+        )
+        messages: List[Tuple[int, ResultEnvelope]] = []
+        ready_extras: List[object] = []
+        for item in ready:
+            if item in conn_to_index:
+                index = conn_to_index[item]
+                try:
+                    messages.append((index, item.recv()))
+                except (EOFError, OSError):
+                    pass  # dead worker: handled by the liveness scan below
+            else:
+                ready_extras.append(item)
+        dead: List[int] = []
+        for worker in self.workers:
+            if worker.alive():
+                continue
+            # Drain anything the worker managed to send before dying.
+            try:
+                while worker.result_recv.poll(0):
+                    messages.append((worker.index, worker.result_recv.recv()))
+            except (EOFError, OSError):
+                pass
+            dead.append(worker.index)
+        return messages, ready_extras, dead
+
+    # -- shutdown --
+
+    def stop(self, graceful: bool = True, timeout: float = 10.0) -> None:
+        """Send drain sentinels (graceful) or terminate, then reap."""
+        if not self._started:
+            return
+        if graceful:
+            for worker in self.workers:
+                try:
+                    worker.task_send.send(None)
+                except (OSError, BrokenPipeError):
+                    pass
+            deadline = time.perf_counter() + timeout
+            for worker in self.workers:
+                worker.process.join(
+                    timeout=max(0.1, deadline - time.perf_counter())
+                )
+        for worker in self.workers:
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+                if worker.process.is_alive():  # pragma: no cover
+                    worker.process.kill()
+                    worker.process.join(timeout=2.0)
+            for conn in (worker.task_send, worker.result_recv):
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        self.workers = []
+        self._started = False
+
+    def alive_count(self) -> int:
+        return sum(1 for worker in self.workers if worker.alive())

@@ -1,0 +1,643 @@
+"""CompileService: the async submission front-end over the warm pool.
+
+``CompileService`` owns a :class:`~repro.serve.pool.WorkerPool` and a
+dispatcher thread, and exposes a futures API::
+
+    with CompileService(workers=2, cache_dir=".repro-cache") as service:
+        future = service.submit("bench-pair", (pair, True), shard_key=kernel)
+        run, capture = future.result()
+
+Scheduling semantics:
+
+* **FIFO + sharding.** Tasks dispatch in submission order.  A
+  ``shard_key`` (the kernel name, for bench tasks) pins a task to
+  ``crc32(key) % workers`` so repeat compiles of one kernel land on the
+  worker whose warm session and memoized module text already know it;
+  unsharded tasks go to the least-loaded live worker.  Each worker keeps
+  at most ``max_inflight`` tasks pipelined in its pipe.
+* **Backpressure.** At most ``max_pending`` tasks may be unresolved at
+  once; ``submit(block=True)`` (default) waits for a slot,
+  ``block=False`` raises :class:`ServiceOverloaded` — callers that fan
+  out huge batches cannot OOM the parent on buffered payloads.
+* **Timeout.** ``timeout=`` (or the service default) bounds
+  submit→result wall time.  A timed-out *pending* task simply fails
+  with :class:`TaskTimeout`; a timed-out task already *running* gets
+  its worker killed and respawned (anything else pipelined behind it is
+  requeued), so one wedged compile cannot brown-out the service.
+* **Cancel.** :meth:`cancel` fails the future with
+  :class:`TaskCancelled`; an already-running task's eventual result is
+  dropped on arrival.
+* **Crash → respawn + requeue.** A worker that dies mid-task is
+  respawned under the same slot and its in-flight tasks are requeued
+  (``retries`` attempts) before :class:`WorkerCrashed` surfaces.  A
+  task that *keeps* killing workers fails rather than looping forever.
+
+Every queue transition is instrumented into the service session:
+``serve.queue_depth`` gauge, ``serve.task.queue_seconds`` /
+``serve.task.turnaround_seconds`` histograms, per-worker utilization
+gauges, and the ``serve.compiles_per_sec`` throughput gauge that CI's
+history gate watches.  The ``parallel.marshal_seconds`` satellite fix
+lives here too: the submit path pickles payloads itself and records the
+real encode time (the old driver timed a round-trip of tiny name tuples
+and rounded to zero).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+import zlib
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from concurrent.futures import Future
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..observe import STAT
+from ..observe.session import CompilerSession, current_session
+from .pool import WorkerPool
+
+_MARSHAL_SECONDS = STAT(
+    "parallel.marshal_seconds", "seconds pickling worker payloads"
+)
+_TASKS = STAT("serve.tasks", "tasks submitted to the compile service")
+_COMPLETED = STAT("serve.completed", "tasks completed successfully")
+_ERRORS = STAT("serve.errors", "tasks failed inside a worker")
+_TIMEOUTS = STAT("serve.timeouts", "tasks failed by deadline")
+_CANCELLED = STAT("serve.cancelled", "tasks cancelled by the client")
+_CRASHES = STAT("serve.worker_crashes", "workers found dead and respawned")
+_REQUEUED = STAT("serve.requeued", "in-flight tasks requeued after a crash")
+
+
+class ServiceError(RuntimeError):
+    """Base class for typed compile-service failures."""
+
+
+class ServiceClosed(ServiceError):
+    """The service is shutting down (or already closed)."""
+
+
+class ServiceOverloaded(ServiceError):
+    """``max_pending`` unresolved tasks and ``block=False``."""
+
+
+class TaskTimeout(ServiceError):
+    """The per-request deadline elapsed before a result arrived."""
+
+
+class TaskCancelled(ServiceError):
+    """The client cancelled the task."""
+
+
+class WorkerCrashed(ServiceError):
+    """The task's worker died on every allowed attempt."""
+
+
+class RemoteTaskError(ServiceError):
+    """The task raised inside the worker; carries the remote type name."""
+
+    def __init__(self, remote_type: str, message: str) -> None:
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+        self.remote_message = message
+
+
+_UNSET = object()
+
+
+@dataclass
+class TaskRecord:
+    id: int
+    kind: str
+    payload: bytes
+    future: Future
+    shard_key: Optional[str]
+    weight: float
+    deadline: Optional[float]
+    submitted_at: float
+    sent_at: Optional[float] = None
+    worker_index: Optional[int] = None
+    attempts: int = 0
+    state: str = "pending"  # pending | inflight | abandoned
+    done: bool = False
+
+
+class CompileService:
+    """Async batch front-end over a persistent warm-worker pool."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        cache_dir: Optional[str] = None,
+        cache_entries: Optional[int] = None,
+        max_pending: int = 1024,
+        max_inflight: int = 4,
+        default_timeout: Optional[float] = None,
+        retries: int = 1,
+        session: Optional[CompilerSession] = None,
+        name: str = "serve",
+    ) -> None:
+        self.session = session if session is not None else current_session()
+        self.name = name
+        self.cache_dir = cache_dir
+        self.max_pending = max(1, max_pending)
+        self.max_inflight = max(1, max_inflight)
+        self.default_timeout = default_timeout
+        self.retries = max(0, retries)
+        self.pool = WorkerPool(
+            size=workers,
+            cache_dir=cache_dir,
+            cache_entries=cache_entries,
+            name=name,
+        )
+        self._lock = threading.RLock()
+        self._pending: Deque[TaskRecord] = deque()
+        self._records: Dict[int, TaskRecord] = {}
+        self._by_future: Dict[Future, TaskRecord] = {}
+        self._inflight: Dict[int, "OrderedDict[int, TaskRecord]"] = {}
+        self._slots = threading.Semaphore(self.max_pending)
+        self._next_id = 1
+        self._started = False
+        self._closing = False
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._wake_r, self._wake_w = os.pipe()
+        self._started_at = 0.0
+        self._weight_done = 0.0
+        self.spawn_seconds = 0.0
+
+    # -- properties ---------------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return self.pool.size
+
+    @property
+    def result_cache_enabled(self) -> bool:
+        return self.cache_dir is not None
+
+    def compiles_per_sec(self) -> float:
+        elapsed = time.perf_counter() - self._started_at
+        return self._weight_done / elapsed if elapsed > 0 else 0.0
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> "CompileService":
+        if self._started:
+            return self
+        if self._closing:
+            raise ServiceClosed(f"service {self.name!r} already closed")
+        self.spawn_seconds = self.pool.start()
+        self.session.metrics.gauge(
+            "serve.pool_spawn_seconds", self.spawn_seconds,
+            description="wall seconds to spawn the warm worker pool",
+        )
+        self._started_at = time.perf_counter()
+        self._inflight = {index: OrderedDict() for index in range(self.pool.size)}
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name=f"{self.name}-dispatcher", daemon=True
+        )
+        self._thread.start()
+        self._started = True
+        return self
+
+    def __enter__(self) -> "CompileService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    def close(self, drain: bool = True, timeout: float = 60.0) -> None:
+        """Stop the service; ``drain=True`` finishes in-flight work first."""
+        if self._thread is None:
+            self._closing = True
+            return
+        with self._lock:
+            self._closing = True
+        if drain:
+            self.drain(timeout=timeout)
+        self._stop.set()
+        self._wake()
+        self._thread.join(timeout=10.0)
+        leftovers = list(self._records.values())
+        for record in leftovers:
+            self._finish(
+                record,
+                exception=ServiceClosed(
+                    f"service {self.name!r} closed with task "
+                    f"{record.id} ({record.kind}) unresolved"
+                ),
+            )
+        self._final_gauges()
+        self.pool.stop(graceful=drain)
+        for fd in (self._wake_r, self._wake_w):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        self._started = False
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait for every submitted task to resolve; True when drained."""
+        deadline = (
+            time.perf_counter() + timeout if timeout is not None else None
+        )
+        while True:
+            with self._lock:
+                busy = bool(self._records)
+            if not busy:
+                return True
+            if deadline is not None and time.perf_counter() >= deadline:
+                return False
+            time.sleep(0.005)
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(
+        self,
+        kind: str,
+        payload: object = None,
+        *,
+        shard_key: Optional[str] = None,
+        timeout: object = _UNSET,
+        weight: float = 1.0,
+        block: bool = True,
+    ) -> Future:
+        """Enqueue one task; returns a ``concurrent.futures.Future``."""
+        if not self._started:
+            self.start()
+        if self._closing:
+            raise ServiceClosed(f"service {self.name!r} is closing")
+        if not self._slots.acquire(blocking=block):
+            raise ServiceOverloaded(
+                f"service {self.name!r} has {self.max_pending} unresolved "
+                f"tasks (bounded queue)"
+            )
+        marshal_start = time.perf_counter()
+        data = pickle.dumps(payload, protocol=-1)
+        marshal_seconds = time.perf_counter() - marshal_start
+        stats = self.session.stats
+        _MARSHAL_SECONDS.resolve(stats).add(marshal_seconds)
+        self.session.metrics.observe(
+            "parallel.task.marshal_seconds", marshal_seconds,
+            description="payload pickle-encode seconds per submitted task",
+        )
+        limit = self.default_timeout if timeout is _UNSET else timeout
+        deadline = (
+            time.perf_counter() + float(limit) if limit is not None else None
+        )
+        with self._lock:
+            if self._closing:
+                self._slots.release()
+                raise ServiceClosed(f"service {self.name!r} is closing")
+            record = TaskRecord(
+                id=self._next_id,
+                kind=kind,
+                payload=data,
+                future=Future(),
+                shard_key=shard_key,
+                weight=float(weight),
+                deadline=deadline,
+                submitted_at=time.perf_counter(),
+            )
+            self._next_id += 1
+            self._records[record.id] = record
+            self._by_future[record.future] = record
+            self._pending.append(record)
+            depth = len(self._pending)
+        _TASKS.resolve(stats).add()
+        self.session.metrics.gauge(
+            "serve.queue_depth", float(depth),
+            description="tasks waiting for a worker slot",
+        )
+        self._wake()
+        return record.future
+
+    def submit_batch(
+        self, tasks: Iterable[Tuple[str, object]], **opts
+    ) -> List[Future]:
+        """Submit ``(kind, payload)`` pairs; futures in submission order."""
+        return [self.submit(kind, payload, **opts) for kind, payload in tasks]
+
+    def cancel(self, future: Future) -> bool:
+        """Cancel the task behind ``future``; True if it was still live."""
+        with self._lock:
+            record = self._by_future.get(future)
+            if record is None or record.done:
+                return False
+            if record.state == "inflight":
+                record.state = "abandoned"  # drop the result on arrival
+            else:
+                record.state = "abandoned"
+        _CANCELLED.resolve(self.session.stats).add()
+        self._finish(
+            record,
+            exception=TaskCancelled(
+                f"task {record.id} ({record.kind}) cancelled"
+            ),
+        )
+        return True
+
+    def health_check(self, timeout: float = 10.0) -> List[Dict[str, object]]:
+        """Ping every worker slot; returns one report per live worker."""
+        futures = [
+            self.submit("ping", None, shard_key=None, timeout=timeout)
+            for _ in range(self.pool.size)
+        ]
+        reports: List[Dict[str, object]] = []
+        for future in futures:
+            try:
+                reports.append(future.result(timeout=timeout + 1.0))
+            except ServiceError as exc:
+                reports.append({"error": str(exc)})
+        return reports
+
+    def describe(self) -> Dict[str, object]:
+        """Service snapshot for the wire ``stats`` request and CLI banner."""
+        now = time.perf_counter()
+        with self._lock:
+            pending = len(self._pending)
+            inflight = sum(len(m) for m in self._inflight.values())
+            workers = [
+                {
+                    "index": worker.index,
+                    "pid": worker.process.pid,
+                    "generation": worker.generation,
+                    "alive": worker.alive(),
+                    "tasks_sent": worker.tasks_sent,
+                    "busy_seconds": round(worker.busy_seconds, 6),
+                    "utilization": round(
+                        worker.busy_seconds / max(1e-9, now - worker.started_at), 4
+                    ),
+                }
+                for worker in self.pool.workers
+            ]
+        counters = {
+            name: value
+            for name, value in self.session.stats.snapshot().items()
+            if name.startswith(("serve.", "cache.", "parallel."))
+        }
+        return {
+            "name": self.name,
+            "workers": workers,
+            "pending": pending,
+            "inflight": inflight,
+            "respawns": self.pool.respawns,
+            "uptime_seconds": round(now - self._started_at, 3),
+            "compiles_per_sec": round(self.compiles_per_sec(), 3),
+            "cache_dir": self.cache_dir,
+            "counters": counters,
+        }
+
+    # -- dispatcher internals -----------------------------------------------------
+
+    def _wake(self) -> None:
+        try:
+            os.write(self._wake_w, b"x")
+        except OSError:
+            pass
+
+    def _worker_for(self, record: TaskRecord) -> Optional[int]:
+        """Pick a worker index with spare pipeline room, or None."""
+        if record.shard_key is not None:
+            index = zlib.crc32(record.shard_key.encode()) % self.pool.size
+            if len(self._inflight[index]) < self.max_inflight:
+                return index
+            return None
+        best, best_load = None, None
+        for index in range(self.pool.size):
+            load = len(self._inflight[index])
+            if load >= self.max_inflight:
+                continue
+            if best_load is None or load < best_load:
+                best, best_load = index, load
+        return best
+
+    def _dispatch_pending(self) -> None:
+        with self._lock:
+            if not self._pending:
+                return
+            remaining: Deque[TaskRecord] = deque()
+            while self._pending:
+                record = self._pending.popleft()
+                if record.done:
+                    continue
+                index = self._worker_for(record)
+                if index is None:
+                    remaining.append(record)
+                    continue
+                try:
+                    self.pool.send(index, record.id, record.kind, record.payload)
+                except (OSError, BrokenPipeError):
+                    # Worker died between liveness scan and send; the
+                    # next wait_any pass respawns it.  Keep the task.
+                    remaining.append(record)
+                    continue
+                record.state = "inflight"
+                record.worker_index = index
+                record.sent_at = time.perf_counter()
+                record.attempts += 1
+                self._inflight[index][record.id] = record
+                self.session.metrics.observe(
+                    "serve.task.queue_seconds",
+                    record.sent_at - record.submitted_at,
+                    description="submit-to-dispatch wall seconds per task",
+                )
+            self._pending = remaining
+            depth = len(self._pending)
+        self.session.metrics.gauge(
+            "serve.queue_depth", float(depth),
+            description="tasks waiting for a worker slot",
+        )
+
+    def _handle_result(self, worker_index: int, envelope) -> None:
+        task_id, status, data, worker_seconds, delta = envelope
+        if task_id < 0:  # drain acknowledgement
+            return
+        with self._lock:
+            if worker_index < len(self.pool.workers):
+                worker = self.pool.workers[worker_index]
+                worker.busy_seconds += float(worker_seconds)
+                worker.inflight = max(0, worker.inflight - 1)
+            record = self._inflight.get(worker_index, OrderedDict()).pop(
+                task_id, None
+            )
+            if record is None:
+                record = self._records.get(task_id)
+        # Warm-session counter deltas (cache hits, task-cache traffic)
+        # fold into the *service* session — never into task results.
+        stats = self.session.stats
+        for name, value in sorted(delta.items()):
+            stats.stat(name).add(value)
+        if record is None or record.done or record.state == "abandoned":
+            if record is not None and not record.done:
+                self._finish_noop(record)
+            return
+        self.session.metrics.observe(
+            "serve.task.turnaround_seconds",
+            time.perf_counter() - record.submitted_at,
+            description="submit-to-result wall seconds per task",
+        )
+        if status == "ok":
+            try:
+                result = pickle.loads(data)
+            except Exception as exc:  # pragma: no cover - defensive
+                _ERRORS.resolve(stats).add()
+                self._finish(
+                    record,
+                    exception=RemoteTaskError("UnpicklingError", str(exc)),
+                )
+                return
+            _COMPLETED.resolve(stats).add()
+            self._weight_done += record.weight
+            self.session.metrics.gauge(
+                "serve.compiles_per_sec", self.compiles_per_sec(),
+                description="weighted tasks completed per wall second "
+                "since service start",
+            )
+            self._finish(record, result=result)
+        else:
+            remote_type, message = pickle.loads(data)
+            _ERRORS.resolve(stats).add()
+            self._finish(
+                record, exception=RemoteTaskError(remote_type, message)
+            )
+
+    def _finish_noop(self, record: TaskRecord) -> None:
+        """Forget a record whose future was already resolved elsewhere."""
+        with self._lock:
+            record.done = True
+            self._records.pop(record.id, None)
+            self._by_future.pop(record.future, None)
+
+    def _finish(
+        self,
+        record: TaskRecord,
+        result: object = None,
+        exception: Optional[BaseException] = None,
+    ) -> None:
+        with self._lock:
+            if record.done:
+                return
+            record.done = True
+            self._records.pop(record.id, None)
+            self._by_future.pop(record.future, None)
+        self._slots.release()
+        # Resolve outside the lock: done-callbacks may submit more work.
+        if exception is not None:
+            record.future.set_exception(exception)
+        else:
+            record.future.set_result(result)
+
+    def _handle_dead_worker(self, index: int) -> None:
+        stats = self.session.stats
+        _CRASHES.resolve(stats).add()
+        with self._lock:
+            orphans = list(self._inflight.get(index, OrderedDict()).values())
+            self._inflight[index] = OrderedDict()
+            if not self._stop.is_set():
+                self.pool.respawn(index)
+        crashed: List[TaskRecord] = []
+        with self._lock:
+            for record in orphans:
+                if record.done or record.state == "abandoned":
+                    continue
+                if record.attempts > self.retries:
+                    crashed.append(record)
+                    continue
+                record.state = "pending"
+                record.worker_index = None
+                self._pending.appendleft(record)
+                _REQUEUED.resolve(stats).add()
+        for record in crashed:
+            self._finish(
+                record,
+                exception=WorkerCrashed(
+                    f"task {record.id} ({record.kind}) killed worker "
+                    f"{index} on {record.attempts} attempt(s)"
+                ),
+            )
+
+    def _check_deadlines(self) -> None:
+        now = time.perf_counter()
+        expired: List[TaskRecord] = []
+        wedged: List[int] = []
+        with self._lock:
+            for record in list(self._records.values()):
+                if record.done or record.deadline is None:
+                    continue
+                if now < record.deadline:
+                    continue
+                if record.state == "inflight":
+                    inflight = self._inflight.get(
+                        record.worker_index, OrderedDict()
+                    )
+                    oldest = next(iter(inflight), None)
+                    if oldest == record.id:
+                        # The worker is actually grinding on this task:
+                        # kill it so the slot comes back.  Pipelined
+                        # followers requeue via _handle_dead_worker.
+                        wedged.append(record.worker_index)
+                    record.state = "abandoned"
+                    inflight.pop(record.id, None)
+                else:
+                    record.state = "abandoned"
+                expired.append(record)
+        stats = self.session.stats
+        for record in expired:
+            _TIMEOUTS.resolve(stats).add()
+            self._finish(
+                record,
+                exception=TaskTimeout(
+                    f"task {record.id} ({record.kind}) exceeded its "
+                    f"deadline"
+                ),
+            )
+        for index in wedged:
+            with self._lock:
+                if index < len(self.pool.workers):
+                    self.pool.workers[index].process.terminate()
+            # death is observed (and requeue happens) on the next
+            # wait_any pass, through the normal crash path
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            self._dispatch_pending()
+            messages, extras, dead = self.pool.wait_any(
+                timeout=0.05, extra=[self._wake_r]
+            )
+            if self._wake_r in extras:
+                try:
+                    os.read(self._wake_r, 4096)
+                except OSError:
+                    pass
+            for worker_index, envelope in messages:
+                self._handle_result(worker_index, envelope)
+            for index in dead:
+                if self._stop.is_set():
+                    continue
+                self._handle_dead_worker(index)
+            self._check_deadlines()
+            if self._stop.is_set():
+                with self._lock:
+                    idle = not self._records
+                if idle or self._stop.is_set():
+                    break
+
+    def _final_gauges(self) -> None:
+        metrics = self.session.metrics
+        if not metrics.enabled:
+            return
+        now = time.perf_counter()
+        for worker in self.pool.workers:
+            metrics.gauge(
+                f"serve.worker.{worker.index}.utilization",
+                worker.busy_seconds / max(1e-9, now - worker.started_at),
+                description="in-worker busy seconds / worker lifetime",
+            )
+        metrics.gauge(
+            "serve.compiles_per_sec", self.compiles_per_sec(),
+            description="weighted tasks completed per wall second "
+            "since service start",
+        )

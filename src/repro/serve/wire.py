@@ -1,0 +1,302 @@
+"""JSONL wire protocol for ``repro serve``.
+
+One request per line, one response per line, JSON both ways — trivially
+scriptable from a shell (``printf ... | python -m repro serve``) and
+from any language with a socket and a JSON library.
+
+Requests::
+
+    {"id": 1, "kind": "ping"}
+    {"id": 2, "kind": "compile", "source": "double A[64]; ... kernel f(n) {...}",
+     "config": "SN-SLP", "target": "skylake-like", "unroll": 0}
+    {"id": 3, "kind": "compile", "ir": "module m { ... }"}
+    {"id": 4, "kind": "bench", "kernel": "motiv-leaf-reorder",
+     "config": "SN-SLP", "seed": 20190216}
+    {"id": 5, "kind": "stats"}
+    {"id": 6, "kind": "shutdown"}
+
+Responses (order follows *completion*, not submission — match on
+``id``)::
+
+    {"id": 2, "ok": true, "result": {...}}
+    {"id": 3, "ok": false, "error": {"type": "RemoteTaskError", "message": "..."}}
+
+``stats`` and ``shutdown`` are answered synchronously by the front-end;
+everything else is submitted to the :class:`~repro.serve.service.CompileService`
+and answered from a future's done-callback.  ``shutdown`` drains
+in-flight work before the acknowledgement line is written.
+
+Two servers share this logic: :func:`serve_stream` (stdin/stdout, the
+default for ``repro serve``) and :class:`SocketServer` (an AF_UNIX
+socket accepting multiple sequential clients, used by the CI smoke test
+and :class:`ServiceClient`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+from typing import Dict, IO, List, Optional, Tuple
+
+from ..bench.runner import DEFAULT_SEED
+from .service import CompileService, ServiceError
+from .tasks import run_to_json
+
+
+def _task_for_request(doc: Dict[str, object]) -> Tuple[str, object, Optional[str]]:
+    """Map one request document to ``(task_kind, payload, shard_key)``."""
+    kind = doc.get("kind")
+    if kind == "ping":
+        return "ping", None, None
+    if kind == "compile":
+        if "ir" in doc:
+            text, language = doc["ir"], "ir"
+        elif "source" in doc:
+            text, language = doc["source"], "kernel"
+        else:
+            raise ValueError("compile request needs 'source' or 'ir'")
+        payload = {
+            "text": text,
+            "language": language,
+            "config": doc.get("config", "SN-SLP"),
+            "target": doc.get("target"),
+            "unroll": int(doc.get("unroll", 0)),
+            "cache": bool(doc.get("cache", True)),
+        }
+        return "compile", payload, None
+    if kind == "bench":
+        kernel = doc["kernel"]
+        pair = (
+            kernel,
+            doc.get("config", "SN-SLP"),
+            doc.get("target", "skylake-like"),
+            int(doc.get("seed", DEFAULT_SEED)),
+            False,  # trace
+            False,  # remarks
+            bool(doc.get("journal", False)),
+            False,  # metrics
+        )
+        return "bench-pair", (pair, True), kernel
+    raise ValueError(f"unknown request kind {kind!r}")
+
+
+def _result_for_wire(kind: str, result: object) -> object:
+    """Make a task result JSON-serializable for the response line."""
+    if kind == "bench-pair":
+        run, capture = result
+        return {
+            "run": run_to_json(run),
+            "worker_pid": capture.get("pid"),
+            "worker_seconds": capture.get("worker_seconds"),
+            "cached": bool(capture.get("cached", False)),
+        }
+    return result
+
+
+def serve_stream(
+    service: CompileService,
+    in_stream: IO[str],
+    out_stream: IO[str],
+    banner: Optional[IO[str]] = None,
+) -> bool:
+    """Serve JSONL requests from ``in_stream`` until EOF or ``shutdown``.
+
+    Returns True when the client asked for ``shutdown`` (socket servers
+    use that to stop accepting).  Every submitted request is answered
+    before this function returns — EOF triggers a drain, not a drop.
+    """
+    write_lock = threading.Lock()
+    # One event per accepted request, set *after* its reply line is
+    # written: a future resolving only means set_result ran, not that
+    # the done-callback (which does the write) has — waiting on the
+    # future alone could end the stream with a reply still in flight.
+    outstanding: List[threading.Event] = []
+
+    def reply(doc: Dict[str, object]) -> None:
+        line = json.dumps(doc, sort_keys=True)
+        with write_lock:
+            out_stream.write(line + "\n")
+            out_stream.flush()
+
+    def on_done(request_id: object, kind: str, replied: threading.Event):
+        def callback(future) -> None:
+            try:
+                result = future.result()
+            except ServiceError as exc:
+                reply({
+                    "id": request_id,
+                    "ok": False,
+                    "error": {"type": type(exc).__name__, "message": str(exc)},
+                })
+            except Exception as exc:  # pragma: no cover - defensive
+                reply({
+                    "id": request_id,
+                    "ok": False,
+                    "error": {"type": type(exc).__name__, "message": str(exc)},
+                })
+            else:
+                reply({
+                    "id": request_id,
+                    "ok": True,
+                    "result": _result_for_wire(kind, result),
+                })
+            replied.set()
+
+        return callback
+
+    shutdown = False
+    for line in in_stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except ValueError as exc:
+            reply({
+                "id": None,
+                "ok": False,
+                "error": {"type": "BadRequest", "message": f"bad JSON: {exc}"},
+            })
+            continue
+        request_id = doc.get("id")
+        kind = doc.get("kind")
+        if kind == "shutdown":
+            service.drain()
+            reply({"id": request_id, "ok": True, "result": {"shutdown": True}})
+            shutdown = True
+            break
+        if kind == "stats":
+            reply({"id": request_id, "ok": True, "result": service.describe()})
+            continue
+        try:
+            task_kind, payload, shard = _task_for_request(doc)
+        except (KeyError, TypeError, ValueError) as exc:
+            reply({
+                "id": request_id,
+                "ok": False,
+                "error": {"type": "BadRequest", "message": str(exc)},
+            })
+            continue
+        try:
+            future = service.submit(task_kind, payload, shard_key=shard)
+        except ServiceError as exc:
+            reply({
+                "id": request_id,
+                "ok": False,
+                "error": {"type": type(exc).__name__, "message": str(exc)},
+            })
+            continue
+        replied = threading.Event()
+        outstanding.append(replied)
+        future.add_done_callback(on_done(request_id, task_kind, replied))
+    # EOF (or shutdown): answer everything already accepted.
+    for replied in outstanding:
+        replied.wait()
+    return shutdown
+
+
+class SocketServer:
+    """AF_UNIX JSONL server: one client at a time, until ``shutdown``."""
+
+    def __init__(self, service: CompileService, path: str) -> None:
+        self.service = service
+        self.path = path
+        if os.path.exists(path):
+            os.unlink(path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.bind(path)
+        self._sock.listen(8)
+        self._sock.settimeout(0.25)
+        self._shutdown = threading.Event()
+
+    def serve_forever(self) -> None:
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    client, _ = self._sock.accept()
+                except socket.timeout:
+                    continue
+                with client:
+                    rfile = client.makefile("r", encoding="utf-8")
+                    wfile = client.makefile("w", encoding="utf-8")
+                    try:
+                        if serve_stream(self.service, rfile, wfile):
+                            self._shutdown.set()
+                    finally:
+                        rfile.close()
+                        wfile.close()
+        finally:
+            self.close()
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        finally:
+            if os.path.exists(self.path):
+                try:
+                    os.unlink(self.path)
+                except OSError:
+                    pass
+
+
+class ServiceClient:
+    """Minimal blocking JSONL client for an AF_UNIX ``repro serve``."""
+
+    def __init__(self, path: str, timeout: Optional[float] = 60.0) -> None:
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(path)
+        self._rfile = self._sock.makefile("r", encoding="utf-8")
+        self._wfile = self._sock.makefile("w", encoding="utf-8")
+        self._next_id = 1
+
+    def close(self) -> None:
+        for stream in (self._rfile, self._wfile):
+            try:
+                stream.close()
+            except OSError:
+                pass
+        self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _send(self, doc: Dict[str, object]) -> object:
+        if "id" not in doc:
+            doc = dict(doc)
+            doc["id"] = self._next_id
+            self._next_id += 1
+        self._wfile.write(json.dumps(doc) + "\n")
+        self._wfile.flush()
+        return doc["id"]
+
+    def _read_until(self, wanted_ids) -> Dict[object, Dict[str, object]]:
+        responses: Dict[object, Dict[str, object]] = {}
+        remaining = set(wanted_ids)
+        while remaining:
+            line = self._rfile.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            response = json.loads(line)
+            responses[response.get("id")] = response
+            remaining.discard(response.get("id"))
+        return responses
+
+    def request(self, doc: Dict[str, object]) -> Dict[str, object]:
+        """One request, blocking until its response arrives."""
+        request_id = self._send(doc)
+        return self._read_until([request_id])[request_id]
+
+    def batch(self, docs) -> List[Dict[str, object]]:
+        """Send every request, then collect responses in request order."""
+        ids = [self._send(doc) for doc in docs]
+        responses = self._read_until(ids)
+        return [responses[request_id] for request_id in ids]

@@ -1,4 +1,4 @@
-"""Content-addressed compile cache.
+"""Content-addressed compile cache and the shared cross-worker store.
 
 Compilation is pure given (module text, configuration, target, unroll
 factor): the pipeline clones its input, the cost model is deterministic,
@@ -15,19 +15,36 @@ deterministic field; ``compile_seconds``/``phase_seconds`` are replayed
 from the original measurement (they describe the compile that produced
 the artifact, not the lookup).
 
-Entries live in an in-memory dict and, when a directory is given, as one
-JSON file per key so separate processes (or CI steps) can share warm
-artifacts.  Hits and misses are counted through the ambient
+On-disk persistence is provided by :class:`SharedJsonStore`, a
+file-locked, LRU-bounded JSON document store designed for *concurrent
+writers*: all workers of a :mod:`repro.serve` pool (and successive
+service runs) point at the same directory, so one worker's cold compile
+becomes every other worker's hit.  Entries record the writing process's
+pid, which lets a reader count ``cache.cross_worker_hits``.  Truncated
+or garbage entries are deleted and treated as misses
+(``cache.corrupt_entries``), never raised.  When the store holds more
+than ``max_entries`` documents the least-recently-used ones are evicted
+(``cache.evictions``); recency is tracked in a ``.index.json`` touched
+under the lock on every hit.
+
+Hits and misses are counted through the ambient
 :class:`~repro.observe.session.CompilerSession` via ``cache.hits`` /
 ``cache.misses``.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
+import hashlib
 import os
-from typing import Dict, Optional
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+try:  # file locking is POSIX-only; the no-op fallback keeps single-process use working
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
 
 from ..ir.instructions import Opcode
 from ..ir.module import Module
@@ -35,7 +52,7 @@ from ..ir.parser import parse_module
 from ..ir.printer import print_module
 from ..machine.targets import DEFAULT_TARGET, TargetMachine
 from ..observe import STAT
-from ..observe.session import CompilerSession, current_session
+from ..observe.session import CompilerSession, current_session, use_session
 from .pipeline import CompilationResult, compile_module
 from .report import FunctionReport, GraphReport, VectorizationReport
 from .reorder import SuperNodeRecord
@@ -43,10 +60,17 @@ from .slp import SLPConfig
 
 STAT_HITS = STAT("cache.hits", "compile cache hits")
 STAT_MISSES = STAT("cache.misses", "compile cache misses")
+STAT_EVICTIONS = STAT("cache.evictions", "LRU evictions from the shared store")
+STAT_CORRUPT = STAT(
+    "cache.corrupt_entries", "truncated/garbage on-disk entries treated as misses"
+)
+STAT_CROSS_WORKER = STAT(
+    "cache.cross_worker_hits", "disk hits on entries written by another process"
+)
 
 #: bump when the serialized entry layout changes; stale-version entries
 #: on disk are treated as misses rather than deserialization errors
-CACHE_FORMAT = 1
+CACHE_FORMAT = 2
 
 
 def cache_key(
@@ -162,55 +186,237 @@ def result_from_json(data: Dict[str, object]) -> CompilationResult:
     )
 
 
+# -- the shared on-disk store -------------------------------------------------------
+
+
+def _lock_file(handle) -> None:
+    if fcntl is not None:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+
+
+def _unlock_file(handle) -> None:
+    if fcntl is not None:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
+class SharedJsonStore:
+    """File-locked, LRU-bounded JSON document store shared across processes.
+
+    One ``<key>.json`` file per document, written atomically
+    (tmp + ``os.replace``) and wrapped as ``{"pid": writer, "doc": ...}``
+    so readers can tell cross-process hits from own-process ones.  A
+    ``.index.json`` recency map, mutated only under an ``flock`` on
+    ``.lock``, drives least-recently-used eviction once the store exceeds
+    ``max_entries``.  The index is advisory: if it is missing or corrupt
+    it is rebuilt from directory mtimes, so deleting it never loses data.
+
+    ``get`` never raises on bad entries — a truncated or garbage file is
+    deleted, counted via ``cache.corrupt_entries``, and reported as a
+    miss; ``last_get`` tells the caller why (``"hit"``/``"miss"``/
+    ``"corrupt"``) so it can attach a remark.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        namespace: str = "store",
+        max_entries: Optional[int] = None,
+    ) -> None:
+        self.directory = os.path.join(directory, namespace)
+        self.namespace = namespace
+        self.max_entries = max_entries
+        self.last_get: str = "miss"
+        os.makedirs(self.directory, exist_ok=True)
+        self._lock_path = os.path.join(self.directory, ".lock")
+        self._index_path = os.path.join(self.directory, ".index.json")
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        handle = open(self._lock_path, "a+", encoding="utf-8")
+        try:
+            _lock_file(handle)
+            yield
+        finally:
+            _unlock_file(handle)
+            handle.close()
+
+    # -- recency index (call only under the lock) --
+
+    def _read_index(self) -> Dict[str, float]:
+        try:
+            with open(self._index_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            entries = data.get("entries")
+            if isinstance(entries, dict):
+                return {str(key): float(stamp) for key, stamp in entries.items()}
+        except (OSError, ValueError, TypeError):
+            pass
+        # Rebuild from directory mtimes: the index is a hint, not truth.
+        entries: Dict[str, float] = {}
+        for name in os.listdir(self.directory):
+            if name.startswith(".") or not name.endswith(".json"):
+                continue
+            try:
+                entries[name[:-5]] = os.path.getmtime(
+                    os.path.join(self.directory, name)
+                )
+            except OSError:
+                continue
+        return entries
+
+    def _write_index(self, entries: Dict[str, float]) -> None:
+        tmp = f"{self._index_path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump({"entries": entries}, handle)
+        os.replace(tmp, self._index_path)
+
+    def _touch(self, key: str) -> None:
+        with self._locked():
+            entries = self._read_index()
+            entries[key] = time.time()
+            self._write_index(entries)
+
+    # -- public API --
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """Stored document for ``key`` or None; never raises on bad data."""
+        stats = current_session().stats
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                wrapper = json.load(handle)
+            doc = wrapper["doc"]
+            writer_pid = int(wrapper["pid"])
+        except FileNotFoundError:
+            self.last_get = "miss"
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            STAT_CORRUPT.resolve(stats).add()
+            self.last_get = "corrupt"
+            self.discard(key)
+            return None
+        if writer_pid != os.getpid():
+            STAT_CROSS_WORKER.resolve(stats).add()
+        self._touch(key)
+        self.last_get = "hit"
+        return doc
+
+    def put(self, key: str, doc: Dict[str, object]) -> None:
+        """Store ``doc`` under ``key``, evicting LRU entries over the cap."""
+        stats = current_session().stats
+        path = self._path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump({"pid": os.getpid(), "doc": doc}, handle)
+        os.replace(tmp, path)
+        with self._locked():
+            entries = self._read_index()
+            entries[key] = time.time()
+            if self.max_entries is not None:
+                while len(entries) > self.max_entries:
+                    oldest = min(entries, key=entries.get)
+                    if oldest == key:  # never evict what we just wrote
+                        break
+                    entries.pop(oldest)
+                    try:
+                        os.remove(self._path(oldest))
+                    except OSError:
+                        pass
+                    STAT_EVICTIONS.resolve(stats).add()
+            self._write_index(entries)
+
+    def discard(self, key: str) -> None:
+        """Drop ``key`` (used for corrupt entries); missing keys are fine."""
+        try:
+            os.remove(self._path(key))
+        except OSError:
+            pass
+        with self._locked():
+            entries = self._read_index()
+            if entries.pop(key, None) is not None:
+                self._write_index(entries)
+
+    def keys(self) -> list:
+        return sorted(
+            name[:-5]
+            for name in os.listdir(self.directory)
+            if name.endswith(".json") and not name.startswith(".")
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+
 # -- the cache ----------------------------------------------------------------------
 
 
 class CompileCache:
-    """In-memory compile cache with optional on-disk persistence.
+    """In-memory compile cache with optional shared on-disk persistence.
 
     With ``directory=None`` entries live only in this process.  With a
-    directory, every entry is also written as ``<key>.json`` and lookups
-    fall back to disk on an in-memory miss, so a warm directory survives
-    process boundaries (the CI warm/hit check relies on this).
+    directory, entries are also written through a :class:`SharedJsonStore`
+    (namespace ``compile``) and lookups fall back to disk on an in-memory
+    miss, so a warm directory survives process boundaries and is safely
+    shared by concurrent service workers (the CI warm/hit check relies on
+    this).  ``max_entries`` bounds the *on-disk* store with LRU eviction;
+    the in-memory layer mirrors only what this process touched.
+
+    ``last_lookup`` reports how the most recent :meth:`lookup` resolved:
+    ``"memory"``, ``"disk"``, ``"miss"``, ``"stale"`` (format-version
+    mismatch) or ``"corrupt"`` (garbage on disk, deleted and treated as a
+    miss).
     """
 
-    def __init__(self, directory: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
         self.directory = directory
+        self.max_entries = max_entries
+        self.last_lookup: str = "miss"
         self._entries: Dict[str, Dict[str, object]] = {}
+        self._store: Optional[SharedJsonStore] = None
         if directory is not None:
-            os.makedirs(directory, exist_ok=True)
+            self._store = SharedJsonStore(
+                directory, namespace="compile", max_entries=max_entries
+            )
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    def _path(self, key: str) -> str:
-        assert self.directory is not None
-        return os.path.join(self.directory, f"{key}.json")
+    @property
+    def shared_store(self) -> Optional[SharedJsonStore]:
+        return self._store
 
     def lookup(self, key: str) -> Optional[CompilationResult]:
         """Return the cached result for ``key``, or None."""
         entry = self._entries.get(key)
-        if entry is None and self.directory is not None:
-            path = self._path(key)
-            if os.path.exists(path):
-                with open(path, "r", encoding="utf-8") as handle:
-                    candidate = json.load(handle)
+        self.last_lookup = "memory"
+        if entry is None and self._store is not None:
+            candidate = self._store.get(key)
+            self.last_lookup = self._store.last_get  # "hit"/"miss"/"corrupt"
+            if candidate is not None:
                 if candidate.get("format") == CACHE_FORMAT:
                     entry = candidate
                     self._entries[key] = entry
+                    self.last_lookup = "disk"
+                else:
+                    self.last_lookup = "stale"
         if entry is None:
+            if self.last_lookup in ("memory", "hit"):
+                self.last_lookup = "miss"
             return None
         return result_from_json(entry)
 
     def store(self, key: str, result: CompilationResult) -> None:
         entry = result_to_json(result)
         self._entries[key] = entry
-        if self.directory is not None:
-            path = self._path(key)
-            tmp = f"{path}.tmp.{os.getpid()}"
-            with open(tmp, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle)
-            os.replace(tmp, path)
+        if self._store is not None:
+            self._store.put(key, entry)
 
 
 def cached_compile_module(
@@ -233,7 +439,8 @@ def cached_compile_module(
     skipping the pipeline.  On a miss the module is compiled normally
     (into ``session`` or an ephemeral child, exactly as
     ``compile_module`` would) and the result is stored before being
-    returned.
+    returned.  A corrupt on-disk entry is a miss with a ``cache_corrupt``
+    analysis remark, never an exception.
     """
     if cache is None:
         return compile_module(
@@ -245,7 +452,20 @@ def cached_compile_module(
     with target_session.metrics.timer(
         "cache.lookup.seconds", "wall seconds per compile-cache lookup"
     ):
-        cached = cache.lookup(key)
+        # The shared store records its own stats (corrupt entries,
+        # cross-worker hits) into the ambient session; scope it to the
+        # same session the hit/miss counters target.
+        with use_session(target_session):
+            cached = cache.lookup(key)
+    if cache.last_lookup == "corrupt":
+        target_session.remarks.analysis(
+            "cache",
+            f"cache_corrupt: discarded garbage entry {key[:12]} for "
+            f"{config.name}/{target.name}; compiling cold",
+            key=key,
+            config=config.name,
+            target=target.name,
+        )
     if cached is not None:
         STAT_HITS.resolve(target_session.stats).add()
         _gauge_hit_rate(target_session)
@@ -268,7 +488,8 @@ def cached_compile_module(
         module, config, target,
         verify=verify, unroll_factor=unroll_factor, session=session,
     )
-    cache.store(key, result)
+    with use_session(target_session):  # eviction stats, as for lookup
+        cache.store(key, result)
     return result
 
 

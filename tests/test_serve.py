@@ -1,0 +1,363 @@
+"""Tests for the compile service (PR 7).
+
+Covers the lifecycle contract of :mod:`repro.serve` — crash → respawn +
+requeue with results still bit-identical to serial, graceful drain,
+typed timeout/cancel/backpressure errors — plus the shared cross-worker
+store (LRU eviction, corruption-as-miss), the marshal-time satellite
+fix, the JSONL wire protocol, and the CLI exit-code convention.
+"""
+
+import io
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.bench import run_kernel_matrix, run_suite_parallel
+from repro.bench.parallel import _run_pair
+from repro.bench.runner import DEFAULT_SEED
+from repro.fuzz import run_campaign
+from repro.kernels import kernel_named
+from repro.observe.session import CompilerSession, use_session
+from repro.serve.service import (
+    CompileService,
+    RemoteTaskError,
+    ServiceOverloaded,
+    TaskCancelled,
+    TaskTimeout,
+    WorkerCrashed,
+)
+from repro.serve.wire import ServiceClient, SocketServer, serve_stream
+from repro.vectorizer import SNSLP_CONFIG, CompileCache, cached_compile_module
+from repro.vectorizer.cache import SharedJsonStore, cache_key
+
+MOTIVATING = ("motiv-leaf-reorder", "motiv-trunk-reorder")
+
+#: a cold bench pair: (kernel, config, target, seed, trace, remarks,
+#: journal, metrics) — the same PairPayload the bench driver ships
+PAIR = ("motiv-leaf-reorder", "SN-SLP", "skylake-like", DEFAULT_SEED,
+        False, False, False, False)
+
+
+def service_session() -> CompilerSession:
+    return CompilerSession(name="test-serve")
+
+
+class TestServiceLifecycle:
+    def test_health_check_reports_every_worker(self):
+        session = service_session()
+        with CompileService(workers=2, session=session, name="t-health") as svc:
+            reports = svc.health_check()
+        assert len(reports) == 2
+        pids = {report["pid"] for report in reports}
+        assert all(isinstance(pid, int) for pid in pids)
+        assert os.getpid() not in pids  # genuinely out-of-process
+
+    def test_crash_respawns_requeues_and_stays_bit_identical(self, tmp_path):
+        """A worker dying mid-task is respawned and the task requeued;
+        the retried result matches a serial run bit-for-bit."""
+        expected, _ = _run_pair(PAIR)
+        marker = str(tmp_path / "crash-once.json")
+        session = service_session()
+        with CompileService(
+            workers=1, retries=1, session=session, name="t-crash"
+        ) as svc:
+            future = svc.submit(
+                "crash-once",
+                {"marker": marker, "kind": "bench-pair", "payload": (PAIR, False)},
+            )
+            run, capture = future.result(timeout=60)
+        crashed_pid = json.loads(open(marker).read())["pid"]
+        assert capture["pid"] != crashed_pid  # retry ran in a respawn
+        assert run.cycles == expected.cycles
+        assert run.counters == expected.counters
+        assert run.outputs == expected.outputs
+        assert session.stats.value("serve.worker_crashes") >= 1
+        assert session.stats.value("serve.requeued") >= 1
+
+    def test_repeated_crash_surfaces_worker_crashed(self):
+        session = service_session()
+        with CompileService(
+            workers=1, retries=0, session=session, name="t-crashhard"
+        ) as svc:
+            future = svc.submit("crash", 11)
+            with pytest.raises(WorkerCrashed):
+                future.result(timeout=30)
+            # the slot was respawned; the service still answers
+            assert svc.submit("ping").result(timeout=30)["pid"] > 0
+
+    def test_graceful_shutdown_drains_inflight(self):
+        session = service_session()
+        svc = CompileService(workers=1, session=session, name="t-drain")
+        futures = [svc.submit("sleep", 0.1) for _ in range(3)]
+        svc.close(drain=True)
+        assert [future.result(timeout=0) for future in futures] == [0.1] * 3
+        assert session.stats.value("serve.completed") == 3
+
+    def test_timeout_is_typed_and_service_survives(self):
+        session = service_session()
+        with CompileService(workers=1, session=session, name="t-timeout") as svc:
+            future = svc.submit("sleep", 30.0, timeout=0.2)
+            with pytest.raises(TaskTimeout):
+                future.result(timeout=30)
+            # the wedged worker was killed; a fresh one still answers
+            assert svc.submit("ping").result(timeout=30)["pid"] > 0
+        assert session.stats.value("serve.timeouts") == 1
+
+    def test_cancel_is_typed(self):
+        session = service_session()
+        with CompileService(workers=1, session=session, name="t-cancel") as svc:
+            first = svc.submit("sleep", 0.3)
+            second = svc.submit("sleep", 0.3)
+            assert svc.cancel(second) is True
+            with pytest.raises(TaskCancelled):
+                second.result(timeout=0)
+            assert first.result(timeout=30) == 0.3
+        assert session.stats.value("serve.cancelled") == 1
+
+    def test_bounded_queue_backpressure(self):
+        session = service_session()
+        with CompileService(
+            workers=1, max_pending=1, session=session, name="t-bp"
+        ) as svc:
+            first = svc.submit("sleep", 0.3)
+            with pytest.raises(ServiceOverloaded):
+                svc.submit("ping", block=False)
+            assert first.result(timeout=30) == 0.3
+            # slot freed: submissions flow again
+            assert svc.submit("ping", block=False).result(timeout=30)
+
+    def test_worker_exception_carries_remote_type(self):
+        with CompileService(workers=1, session=service_session(),
+                            name="t-remote") as svc:
+            future = svc.submit("no-such-kind", None)
+            with pytest.raises(RemoteTaskError) as info:
+                future.result(timeout=30)
+        assert info.value.remote_type == "ValueError"
+        assert "no-such-kind" in info.value.remote_message
+
+
+class TestServiceEquivalence:
+    def test_service_bench_matches_serial_cold_and_warm(self, tmp_path):
+        """The acceptance contract: suite results through the service —
+        cold, and again warm from the shared result cache — equal the
+        serial run on every deterministic field."""
+        kernels = [kernel_named(name) for name in MOTIVATING]
+        session = service_session()
+        with CompileService(
+            workers=2, cache_dir=str(tmp_path), session=session, name="t-eq"
+        ) as svc:
+            cold = run_suite_parallel(kernels, jobs=2, service=svc)
+            warm = run_suite_parallel(kernels, jobs=2, service=svc)
+        assert session.stats.value("serve.task_cache.misses") > 0
+        assert session.stats.value("serve.task_cache.hits") > 0
+        for kernel in kernels:
+            serial = run_kernel_matrix(kernel)
+            for config_name, expected in serial.items():
+                for suite in (cold, warm):
+                    run = suite[kernel.name][config_name]
+                    assert run.cycles == expected.cycles, (kernel.name, config_name)
+                    assert run.instructions == expected.instructions
+                    assert run.counters == expected.counters, (kernel.name, config_name)
+                    assert run.outputs == expected.outputs
+                    assert run.correct == expected.correct is True
+                    assert run.vectorized_graphs == expected.vectorized_graphs
+
+    def test_fuzz_campaign_through_service_matches_serial(self):
+        serial = run_campaign(budget="12", seed=5)
+        session = service_session()
+        with CompileService(workers=2, session=session, name="t-fuzz") as svc:
+            via_service = run_campaign(budget="12", seed=5, service=svc)
+        assert via_service.programs == serial.programs == 12
+        assert dict(via_service.stats) == dict(serial.stats)
+        assert via_service.ok and serial.ok
+
+    def test_marshal_seconds_recorded_nonzero(self):
+        """The satellite fix: submit times the real payload pickle, so a
+        non-trivial batch records strictly positive marshal time (the old
+        driver reported 0.0 across 64 tasks)."""
+        session = service_session()
+        session.metrics.enable()
+        with use_session(session):
+            with CompileService(workers=1, session=session, name="t-marshal") as svc:
+                futures = [
+                    svc.submit("bench-pair", (PAIR, False), shard_key=PAIR[0])
+                    for _ in range(4)
+                ]
+                for future in futures:
+                    future.result(timeout=120)
+        assert session.stats.value("parallel.marshal_seconds") > 0.0
+        histogram = session.metrics.histograms["parallel.task.marshal_seconds"]
+        assert histogram.count == 4
+        assert histogram.total > 0.0
+
+
+class TestSharedStore:
+    def test_lru_eviction_counts_and_keeps_recent(self, tmp_path):
+        session = service_session()
+        with use_session(session):
+            store = SharedJsonStore(str(tmp_path), namespace="t", max_entries=3)
+            for index in range(5):
+                store.put(f"key{index}", {"value": index})
+                time.sleep(0.01)  # distinct recency stamps
+        assert len(store) == 3
+        assert store.keys() == ["key2", "key3", "key4"]
+        assert session.stats.value("cache.evictions") == 2
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        session = service_session()
+        with use_session(session):
+            store = SharedJsonStore(str(tmp_path), namespace="t", max_entries=2)
+            store.put("a", {"value": 1})
+            time.sleep(0.01)
+            store.put("b", {"value": 2})
+            time.sleep(0.01)
+            assert store.get("a") == {"value": 1}  # touch: a newer than b
+            time.sleep(0.01)
+            store.put("c", {"value": 3})
+        assert store.keys() == ["a", "c"]  # b was the LRU entry
+
+    def test_corrupt_entry_is_miss_not_crash(self, tmp_path):
+        session = service_session()
+        with use_session(session):
+            store = SharedJsonStore(str(tmp_path), namespace="t")
+            store.put("good", {"value": 1})
+            with open(store._path("good"), "w") as handle:
+                handle.write("{truncated garba")
+            assert store.get("good") is None
+            assert store.last_get == "corrupt"
+            assert store.get("good") is None  # deleted: now a plain miss
+            assert store.last_get == "miss"
+        assert session.stats.value("cache.corrupt_entries") == 1
+
+    def test_cross_worker_hits_are_counted(self, tmp_path):
+        session = service_session()
+        with use_session(session):
+            store = SharedJsonStore(str(tmp_path), namespace="t")
+            store.put("mine", {"value": 1})
+            assert store.get("mine") == {"value": 1}
+            # forge an entry "written" by another process
+            with open(store._path("theirs"), "w") as handle:
+                json.dump({"pid": os.getpid() + 1, "doc": {"value": 2}}, handle)
+            assert store.get("theirs") == {"value": 2}
+        assert session.stats.value("cache.cross_worker_hits") == 1
+
+    def test_compile_cache_corrupt_entry_compiles_cold_with_remark(self, tmp_path):
+        module = kernel_named("motiv-leaf-reorder").build()
+        key = cache_key(module, SNSLP_CONFIG)
+        cold_session = CompilerSession(name="cold")
+        with use_session(cold_session):
+            cold = cached_compile_module(
+                module, SNSLP_CONFIG, cache=CompileCache(str(tmp_path)),
+            )
+        fresh = CompileCache(str(tmp_path))  # empty memory layer
+        with open(fresh.shared_store._path(key), "w") as handle:
+            handle.write("not json at all")
+        session = CompilerSession(name="corrupt")
+        session.remarks.enable()
+        with use_session(session):
+            result = cached_compile_module(module, SNSLP_CONFIG, cache=fresh)
+        assert result.counters == cold.counters
+        assert result.report.config_name == cold.report.config_name
+        corrupt = [
+            r for r in session.remarks.remarks
+            if r.message.startswith("cache_corrupt")
+        ]
+        assert len(corrupt) == 1
+        assert corrupt[0].args["key"] == key
+        assert session.stats.value("cache.corrupt_entries") == 1
+        # the poisoned file is gone and the recompile re-seeded the store
+        warm = CompileCache(str(tmp_path))
+        assert warm.lookup(key) is not None
+        assert warm.last_lookup == "disk"
+
+    def test_cache_shared_across_services(self, tmp_path):
+        """Two successive services over one cache directory: the second
+        pool's (new) workers hit entries the first pool's workers wrote."""
+        kernels = [kernel_named(MOTIVATING[0])]
+        first_session = service_session()
+        with CompileService(
+            workers=2, cache_dir=str(tmp_path),
+            session=first_session, name="t-gen1",
+        ) as svc:
+            run_suite_parallel(kernels, jobs=2, service=svc)
+        assert first_session.stats.value("serve.task_cache.misses") > 0
+        second_session = service_session()
+        with CompileService(
+            workers=2, cache_dir=str(tmp_path),
+            session=second_session, name="t-gen2",
+        ) as svc:
+            run_suite_parallel(kernels, jobs=2, service=svc)
+        assert second_session.stats.value("serve.task_cache.hits") > 0
+        assert second_session.stats.value("cache.cross_worker_hits") > 0
+
+
+class TestWireProtocol:
+    def test_stream_roundtrip(self):
+        requests = "\n".join([
+            json.dumps({"id": 1, "kind": "ping"}),
+            json.dumps({"id": 2, "kind": "bench",
+                        "kernel": "motiv-leaf-reorder", "config": "SN-SLP"}),
+            json.dumps({"id": 3, "kind": "frobnicate"}),
+            "this is not json",
+            json.dumps({"id": 4, "kind": "stats"}),
+            json.dumps({"id": 5, "kind": "shutdown"}),
+        ]) + "\n"
+        out = io.StringIO()
+        with CompileService(workers=1, session=service_session(),
+                            name="t-wire") as svc:
+            shutdown = serve_stream(svc, io.StringIO(requests), out)
+        assert shutdown is True
+        responses = {
+            doc.get("id"): doc
+            for doc in map(json.loads, out.getvalue().splitlines())
+        }
+        assert responses[1]["ok"] and responses[1]["result"]["pid"] > 0
+        assert responses[2]["ok"]
+        run = responses[2]["result"]["run"]
+        assert run["kernel"] == "motiv-leaf-reorder"
+        assert run["cycles"] > 0
+        assert not responses[3]["ok"]
+        assert responses[3]["error"]["type"] == "BadRequest"
+        assert not responses[None]["ok"]  # the unparseable line
+        assert responses[4]["result"]["workers"][0]["pid"] > 0
+        assert responses[5]["result"] == {"shutdown": True}
+
+    def test_socket_server_and_client(self, tmp_path):
+        path = str(tmp_path / "serve.sock")
+        with CompileService(workers=1, session=service_session(),
+                            name="t-sock") as svc:
+            server = SocketServer(svc, path)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            with ServiceClient(path) as client:
+                assert client.request({"kind": "ping"})["ok"]
+                responses = client.batch([
+                    {"kind": "bench", "kernel": "motiv-leaf-reorder",
+                     "config": "O3"},
+                    {"kind": "ping"},
+                ])
+                assert all(doc["ok"] for doc in responses)
+                assert responses[0]["result"]["run"]["config"] == "O3"
+                assert client.request({"kind": "shutdown"})["ok"]
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+        assert not os.path.exists(path)
+
+
+class TestCLIExitCodes:
+    def test_service_timeout_exits_with_budget_code(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "bench",
+             "--kernel", "motiv-leaf-reorder", "--jobs", "1",
+             "--service", "--service-timeout", "0.000001"],
+            capture_output=True, text=True, timeout=300,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert proc.returncode == 5, proc.stderr
+        assert "deadline" in proc.stderr

@@ -116,6 +116,25 @@ class TestParallelEquivalence:
                 assert run.counters == expected.counters, (kernel.name, name)
                 assert run.correct == expected.correct is True
 
+    def test_suite_via_explicit_service_matches_serial(self):
+        """PR 7: the same suite routed through a caller-owned
+        CompileService (warm workers, no result cache) stays
+        bit-identical to the serial run."""
+        from repro.serve.service import CompileService
+
+        kernels = [kernel_named(name) for name in MOTIVATING]
+        session = CompilerSession(name="service-equivalence")
+        with CompileService(workers=2, session=session, name="eq") as service:
+            suite = run_suite_parallel(kernels, jobs=2, service=service)
+        for kernel in kernels:
+            serial = run_kernel_matrix(kernel)
+            for name, expected in serial.items():
+                run = suite[kernel.name][name]
+                assert run.cycles == expected.cycles, (kernel.name, name)
+                assert run.counters == expected.counters, (kernel.name, name)
+                assert run.outputs == expected.outputs, (kernel.name, name)
+                assert run.correct == expected.correct is True
+
     def test_jobs_one_falls_back_to_serial_inline(self):
         kernel = kernel_named("motiv-trunk-reorder")
         assert (
