@@ -219,6 +219,7 @@ def run_suite_parallel(
     jobs: Optional[int] = None,
     journal: bool = False,
     service=None,
+    resilience=None,
 ) -> Dict[str, Dict[str, KernelRun]]:
     """Run every (kernel, config) pair of the suite, sharded over
     processes; returns ``{kernel_name: {config_name: KernelRun}}``.
@@ -236,6 +237,15 @@ def run_suite_parallel(
     :class:`~repro.serve.service.CompileService` (warm workers + shared
     result cache across calls); without one an ephemeral service is
     started for this call.
+
+    ``resilience=`` is a
+    :class:`~repro.serve.resilience.ResiliencePolicy`: service traffic
+    then goes through a :class:`~repro.serve.resilience.ResilientExecutor`
+    (retry/backoff, optional hedging, circuit-breaker degradation down to
+    an ephemeral local pool or serial in-process execution), so the suite
+    completes with identical results even when the service fails mid-run.
+    Only honoured on the service path; the plain serial path needs no
+    resilience.
 
     Overhead attribution: the parallel path records, into the *parent*
     session only, how much task wall clock was spent outside workers —
@@ -259,7 +269,9 @@ def run_suite_parallel(
         for _, capture in outcomes:
             _merge_capture(parent, capture)
     else:
-        outcomes = _dispatch(parent, payloads, jobs, service=service)
+        outcomes = _dispatch(
+            parent, payloads, jobs, service=service, resilience=resilience
+        )
     return _assemble(kernels, configs, [run for run, _ in outcomes])
 
 
@@ -268,6 +280,7 @@ def _dispatch(
     payloads: Sequence[PairPayload],
     jobs: int,
     service=None,
+    resilience=None,
 ) -> List[Tuple[KernelRun, WorkerCapture]]:
     """Fan payloads over the compile service, measuring dispatch overhead.
 
@@ -301,22 +314,40 @@ def _dispatch(
         service.start()
     use_cache = service.result_cache_enabled
     try:
-        with parent.tracer.span("parallel:submit", tasks=len(payloads)):
-            futures = []
-            for index, payload in enumerate(payloads):
+        if resilience is not None:
+            from ..serve.resilience import ResilientExecutor
+
+            # The executor owns submission and waiting: tasks that hit a
+            # failing service retry/degrade, but land back here in
+            # payload order, so the assembled suite is unchanged.
+            tasks = [
+                ("bench-pair", (payload, use_cache), payload[0], 1.0)
+                for payload in payloads
+            ]
+            for _ in payloads:
                 _TASKS.resolve(stats).add()
-                submit_at.append(time.perf_counter())
-                future = service.submit(
-                    "bench-pair", (payload, use_cache),
-                    shard_key=payload[0],
-                )
-                future.add_done_callback(
-                    lambda _, i=index: done_at.__setitem__(
-                        i, time.perf_counter()
+            with parent.tracer.span("parallel:submit", tasks=len(payloads)):
+                with ResilientExecutor(
+                    service, policy=resilience, session=parent
+                ) as executor:
+                    outcomes = executor.run_batch(tasks)
+        else:
+            with parent.tracer.span("parallel:submit", tasks=len(payloads)):
+                futures = []
+                for index, payload in enumerate(payloads):
+                    _TASKS.resolve(stats).add()
+                    submit_at.append(time.perf_counter())
+                    future = service.submit(
+                        "bench-pair", (payload, use_cache),
+                        shard_key=payload[0],
                     )
-                )
-                futures.append(future)
-        outcomes = [future.result() for future in futures]
+                    future.add_done_callback(
+                        lambda _, i=index: done_at.__setitem__(
+                            i, time.perf_counter()
+                        )
+                    )
+                    futures.append(future)
+            outcomes = [future.result() for future in futures]
     finally:
         if owns_service:
             service.close()
@@ -327,12 +358,16 @@ def _dispatch(
         for index, (_, capture) in enumerate(outcomes):
             worker_seconds = float(capture["worker_seconds"])
             worker_total += worker_seconds
-            turnaround = done_at.get(index, pool_start + pool_wall) - submit_at[index]
-            session_metrics.observe(
-                "parallel.task.turnaround_seconds", max(0.0, turnaround),
-                description="submit-to-done wall seconds per task "
-                "(queueing included)",
-            )
+            if index < len(submit_at):  # resilient path times elsewhere
+                turnaround = (
+                    done_at.get(index, pool_start + pool_wall)
+                    - submit_at[index]
+                )
+                session_metrics.observe(
+                    "parallel.task.turnaround_seconds", max(0.0, turnaround),
+                    description="submit-to-done wall seconds per task "
+                    "(queueing included)",
+                )
             session_metrics.observe(
                 "parallel.task.worker_seconds", worker_seconds,
                 description="in-worker wall seconds per task",

@@ -707,6 +707,13 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         return EXIT_OK if report.ok else EXIT_MISMATCH
 
     service = None
+    resilience = None
+    if args.resilient:
+        if not args.service:
+            _usage("--resilient requires --service")
+        from .serve.resilience import ResiliencePolicy
+
+        resilience = ResiliencePolicy(seed=args.seed)
     if args.service:
         from .serve.service import CompileService
 
@@ -729,6 +736,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             jobs=args.jobs if args.jobs is not None else _default_jobs(),
             session=current_session(),
             service=service,
+            resilience=resilience,
         )
     finally:
         if service is not None:
@@ -767,6 +775,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
             _usage(str(exc.args[0]) if exc.args else str(exc))
     jobs = args.jobs if args.jobs is not None else default_jobs()
     service = None
+    resilience = None
+    if args.resilient:
+        if not args.service:
+            _usage("--resilient requires --service")
+        from .serve.resilience import ResiliencePolicy
+
+        resilience = ResiliencePolicy(seed=args.seed)
     if args.service:
         from .serve.service import CompileService
 
@@ -782,6 +797,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         suite = run_suite_parallel(
             kernels, target=target, seed=args.seed, jobs=jobs,
             journal=args.journal_summary, service=service,
+            resilience=resilience,
         )
     finally:
         if service is not None:
@@ -1035,7 +1051,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if args.socket:
             SocketServer(service, args.socket).serve_forever()
         else:
-            serve_stream(service, sys.stdin, sys.stdout)
+            serve_stream(
+                service, sys.stdin, sys.stdout,
+                faults=service.session.faults,
+            )
     finally:
         snapshot = service.describe()
         service.close(drain=True)
@@ -1046,6 +1065,39 @@ def cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return EXIT_OK
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve.chaos import DEFAULT_KERNELS, run_chaos_campaign
+
+    kernel_names = tuple(args.kernel) if args.kernel else DEFAULT_KERNELS
+    from .kernels.suite import kernel_named
+
+    try:
+        for name in kernel_names:
+            kernel_named(name)
+    except KeyError as exc:
+        _usage(str(exc.args[0]) if exc.args else str(exc))
+    result = run_chaos_campaign(
+        budget=args.budget,
+        seed=args.seed,
+        kernel_names=kernel_names,
+        fuzz_programs=args.fuzz_programs,
+        progress=lambda line: print(f"; {line}", file=sys.stderr),
+        session=current_session(),
+    )
+    print(result.summary())
+    for run in result.runs:
+        if run.status in ("escaped", "fatal"):
+            print(f"  [{run.status}] {run.scenario}: {run.detail}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"; wrote chaos classification to {args.out}", file=sys.stderr)
+    return EXIT_OK if result.ok else EXIT_MISMATCH
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1341,6 +1393,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="dispatch count-budget chunks through a persistent "
         "warm-worker compile service (see `repro serve`)",
     )
+    p_fuzz.add_argument(
+        "--resilient",
+        action="store_true",
+        help="with --service: retry failed chunks with backoff and, when "
+        "the service circuit-breaker opens, degrade to local compile "
+        "(results stay bit-identical)",
+    )
     metrics_flags(p_fuzz)
     p_fuzz.set_defaults(fn=cmd_fuzz)
 
@@ -1411,6 +1470,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-task deadline under --service; a timed-out task exits "
         f"with code {EXIT_BUDGET}",
     )
+    p_bench.add_argument(
+        "--resilient",
+        action="store_true",
+        help="with --service: retry failed pairs with backoff and, when "
+        "the service circuit-breaker opens, degrade to local compile "
+        "(results stay bit-identical)",
+    )
     metrics_flags(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
 
@@ -1462,6 +1528,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics_flags(p_serve)
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="chaos-test the compile service: arm each service fault site "
+        "against real bench/fuzz/socket traffic and verify every run "
+        "recovers bit-identically",
+    )
+    p_chaos.add_argument(
+        "--budget",
+        type=int,
+        default=20,
+        metavar="N",
+        help="chaos runs to execute (scenarios cycle round-robin, "
+        "later laps fire the fault deeper into the run)",
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (workloads + backoff jitter)"
+    )
+    p_chaos.add_argument(
+        "--kernel",
+        action="append",
+        metavar="NAME",
+        help="bench-workload kernel(s); repeatable (default: two motivating "
+        "kernels)",
+    )
+    p_chaos.add_argument(
+        "--fuzz-programs",
+        type=int,
+        default=16,
+        metavar="N",
+        help="programs per fuzz workload (default: 16)",
+    )
+    p_chaos.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the per-run classification JSON to FILE",
+    )
+    p_chaos.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the aggregated counter table on stderr",
+    )
+    metrics_flags(p_chaos)
+    p_chaos.set_defaults(fn=cmd_chaos)
 
     p_profile = sub.add_parser(
         "profile",

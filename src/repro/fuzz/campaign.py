@@ -356,6 +356,7 @@ def run_campaign(
     jobs: Optional[int] = None,
     session: Optional[CompilerSession] = None,
     service=None,
+    resilience=None,
 ) -> CampaignResult:
     """Run one fuzzing campaign within ``budget``.
 
@@ -366,6 +367,12 @@ def run_campaign(
     *count* budgets across worker processes; the merged result is
     bit-identical to the serial run (see the module docstring).  Time
     budgets always run serial.
+
+    ``resilience=`` (a :class:`~repro.serve.resilience.ResiliencePolicy`)
+    routes service traffic through a
+    :class:`~repro.serve.resilience.ResilientExecutor`, so the campaign
+    completes with identical results even when the service fails mid-run
+    (chunks retry, then degrade to local execution).
     """
     kind, amount = parse_budget(budget)
     campaign = session if session is not None else current_session().derive(
@@ -387,6 +394,7 @@ def run_campaign(
             progress,
             jobs if jobs is not None else 2,
             service=service,
+            resilience=resilience,
         )
     failures: List[FailureArtifact] = []
     started = time.perf_counter()
@@ -472,6 +480,7 @@ def _run_campaign_parallel(
     progress: Optional[Callable[[str], None]],
     jobs: int,
     service=None,
+    resilience=None,
 ) -> CampaignResult:
     """Sharded count-budget campaign, merged to match the serial run.
 
@@ -502,23 +511,54 @@ def _run_campaign_parallel(
         service.start()
     summaries: List[Tuple[int, Dict[str, float], bool]] = []
     try:
-        futures = [
-            service.submit(
-                "fuzz-chunk",
-                (chunk, seed, config_names, target.name, input_seed, max_ulps),
-                weight=float(len(chunk) * len(config_names)),
-            )
-            for chunk in chunks
-        ]
-        failure_count = 0
-        for future in futures:
-            if failure_count >= max_failures:
-                service.cancel(future)
-                continue
-            summaries.extend(future.result())
-            # Replay the serial stop condition over what we have so far:
-            # once max_failures is reached, later chunks are dead weight.
-            failure_count = sum(1 for _, _, failed in summaries if failed)
+        if resilience is not None:
+            from ..serve.resilience import ResilientExecutor
+
+            # Resilient path: every chunk completes (possibly retried or
+            # degraded to local execution); the accounting pass below
+            # replays the stop conditions, so computing past the serial
+            # stopping point costs time but never changes the result.
+            tasks = [
+                (
+                    "fuzz-chunk",
+                    (
+                        chunk, seed, config_names,
+                        target.name, input_seed, max_ulps,
+                    ),
+                    None,
+                    float(len(chunk) * len(config_names)),
+                )
+                for chunk in chunks
+            ]
+            with ResilientExecutor(
+                service, policy=resilience, session=campaign
+            ) as executor:
+                for chunk_summaries in executor.run_batch(tasks):
+                    summaries.extend(chunk_summaries)
+        else:
+            futures = [
+                service.submit(
+                    "fuzz-chunk",
+                    (
+                        chunk, seed, config_names,
+                        target.name, input_seed, max_ulps,
+                    ),
+                    weight=float(len(chunk) * len(config_names)),
+                )
+                for chunk in chunks
+            ]
+            failure_count = 0
+            for future in futures:
+                if failure_count >= max_failures:
+                    service.cancel(future)
+                    continue
+                summaries.extend(future.result())
+                # Replay the serial stop condition over what we have so
+                # far: once max_failures is reached, later chunks are
+                # dead weight.
+                failure_count = sum(
+                    1 for _, _, failed in summaries if failed
+                )
     finally:
         if owns_service:
             service.close()

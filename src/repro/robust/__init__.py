@@ -17,6 +17,8 @@ import graph acyclic.
 from .bisect import BISECT, BisectResult, OptBisect, run_bisect
 from .faults import (
     COMPILE_SITES,
+    SERVICE_SITES,
+    WORKER_SIDE_SITES,
     FAULT_MODES,
     FAULT_SITES,
     FAULTS,
@@ -53,6 +55,7 @@ __all__ = [
     "BISECT", "OptBisect", "BisectResult", "run_bisect",
     "FAULTS", "FaultInjector", "FaultPlan", "FaultSite", "FaultError",
     "FAULT_SITES", "FAULT_MODES", "COMPILE_SITES",
+    "SERVICE_SITES", "WORKER_SIDE_SITES",
     "parse_injection", "site_named",
     "guarded_compile", "GuardedResult", "RecoveryRecord", "CrashCapture",
     "DEFAULT_LADDER", "resolve_ladder",

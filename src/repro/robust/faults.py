@@ -90,13 +90,78 @@ FAULT_SITES: Dict[str, FaultSite] = {
             ("raise", "stall"),
             "execute",
         ),
+        # -- compile-service sites (phase "service") -------------------
+        # Worker-side sites are armed *inside* pool workers via the
+        # fault plans the pool ships at spawn (generation 0 only, so a
+        # respawned worker models a healthy replacement); parent-side
+        # sites fire in the service/front-end process.
+        FaultSite(
+            "serve.worker.crash",
+            "worker process dies hard mid-task (exercises respawn+requeue)",
+            ("raise",),
+            "service",
+        ),
+        FaultSite(
+            "serve.worker.stall",
+            "worker wedges past the heartbeat stall budget mid-task",
+            ("stall",),
+            "service",
+        ),
+        FaultSite(
+            "serve.task.error",
+            "transient in-worker task failure (exercises client retry/backoff)",
+            ("raise",),
+            "service",
+        ),
+        FaultSite(
+            "serve.pipe.frame",
+            "worker sends a truncated/garbage result frame on its pipe",
+            ("corrupt",),
+            "service",
+        ),
+        FaultSite(
+            "serve.cache.index",
+            "shared-store recency index scribbled with garbage",
+            ("corrupt",),
+            "service",
+        ),
+        FaultSite(
+            "serve.socket.disconnect",
+            "socket server drops the client connection mid-request",
+            ("raise",),
+            "service",
+        ),
+        FaultSite(
+            "serve.respawn",
+            "respawning a dead worker fails (slot goes defunct)",
+            ("raise",),
+            "service",
+        ),
     )
 }
 
 #: the sites reachable from ``compile_module`` (everything but the
-#: interpreter, which only runs during simulation/oracle checks)
+#: interpreter, which only runs during simulation/oracle checks, and the
+#: compile-service boundary, which only exists under ``repro serve``)
 COMPILE_SITES: Tuple[str, ...] = tuple(
-    name for name, site in FAULT_SITES.items() if site.phase != "execute"
+    name
+    for name, site in FAULT_SITES.items()
+    if site.phase not in ("execute", "service")
+)
+
+#: the compile-service boundary sites, enumerated by ``repro chaos``
+SERVICE_SITES: Tuple[str, ...] = tuple(
+    name for name, site in FAULT_SITES.items() if site.phase == "service"
+)
+
+#: service sites that fire *inside pool workers* — arming them means
+#: shipping a plan to the worker at spawn (``WorkerPool(fault_plans=…)``)
+WORKER_SIDE_SITES: Tuple[str, ...] = (
+    "serve.worker.crash",
+    "serve.worker.stall",
+    "serve.task.error",
+    "serve.pipe.frame",
+    "serve.cache.index",
 )
 
 

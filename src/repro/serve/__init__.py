@@ -16,6 +16,13 @@ compile service (ROADMAP Open item 1):
   kernel, requeue on worker death, and serve.* telemetry.
 * :mod:`repro.serve.wire` — the JSONL wire protocol behind ``repro
   serve`` (stdin/stdout or an AF_UNIX socket) and a small client.
+* :mod:`repro.serve.resilience` — the client's half of the failure
+  contract: bounded retries with deterministic backoff, request hedging,
+  and a circuit breaker degrading service traffic down a ladder
+  (service → ephemeral local pool → serial in-process).
+* :mod:`repro.serve.chaos` — the ``repro chaos`` campaign arming seeded
+  service faults against real bench/fuzz traffic and classifying each
+  run recovered/degraded/escaped/fatal.
 
 Everything is import-light: submodules import the heavy compiler stack
 lazily so ``import repro.serve`` stays cheap for CLI startup.
@@ -31,9 +38,15 @@ __all__ = [
     "WorkerCrashed",
     "ServiceClosed",
     "ServiceOverloaded",
+    "ServiceUnavailable",
     "RemoteTaskError",
     "WorkerPool",
+    "ResiliencePolicy",
+    "ResilientExecutor",
+    "CircuitBreaker",
 ]
+
+_RESILIENCE_NAMES = ("ResiliencePolicy", "ResilientExecutor", "CircuitBreaker")
 
 
 def __getattr__(name: str):
@@ -41,6 +54,9 @@ def __getattr__(name: str):
         if name == "WorkerPool":
             from .pool import WorkerPool
             return WorkerPool
+        if name in _RESILIENCE_NAMES:
+            from . import resilience
+            return getattr(resilience, name)
         from . import service
         return getattr(service, name)
     raise AttributeError(name)

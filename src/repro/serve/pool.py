@@ -38,23 +38,37 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 import time
 from dataclasses import dataclass, field
 from multiprocessing import Pipe, Process, connection
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 #: wire tuples (see module docstring)
 TaskEnvelope = Tuple[int, str, bytes]
 ResultEnvelope = Tuple[int, str, bytes, float, Dict[str, float]]
 
+#: pseudo task id of periodic worker heartbeat envelopes
+HEARTBEAT_ID = -3
+
+#: one armed fault shipped to generation-0 workers: (site, mode, skip, once)
+FaultPlanSpec = Tuple[str, str, int, bool]
+
+#: exit status of a worker killed by an armed ``serve.worker.crash``
+CRASH_EXIT_CODE = 23
+
 
 def _worker_main(
     index: int,
+    generation: int,
     task_recv: connection.Connection,
     result_send: connection.Connection,
     cache_dir: Optional[str],
     cache_entries: Optional[int],
     pool_name: str,
+    fault_plans: Sequence[FaultPlanSpec],
+    heartbeat_interval: Optional[float],
+    fault_stall_seconds: Optional[float],
 ) -> None:
     """Worker loop: one warm session, tasks until sentinel or EOF."""
     # Imports happen here, inside the child, so the parent's submit path
@@ -63,12 +77,50 @@ def _worker_main(
     from .tasks import WorkerState, run_task
 
     session = CompilerSession(name=f"{pool_name}-worker:{index}")
+    faults = None
+    fault_error: type = Exception
+    if fault_plans and generation == 0:
+        # Seeded chaos plans apply only to first-generation workers: a
+        # respawned worker models a healthy replacement, so an injected
+        # crash/stall cannot loop forever through the respawn path.
+        from ..robust.faults import FaultError, FaultInjector
+
+        faults = FaultInjector()
+        fault_error = FaultError
+        if fault_stall_seconds is not None:
+            faults.stall_seconds = fault_stall_seconds
+        for site, mode, skip, once in fault_plans:
+            faults.arm(site, mode, skip=skip, once=once)
+        session.faults = faults
     state = WorkerState(
         index=index,
         session=session,
         cache_dir=cache_dir,
         cache_entries=cache_entries,
     )
+    # The heartbeat thread shares the result pipe with task replies;
+    # Connection.send is not atomic across threads, so all sends take
+    # this lock.
+    send_lock = threading.Lock()
+
+    def _send(envelope: ResultEnvelope) -> None:
+        with send_lock:
+            result_send.send(envelope)
+
+    if heartbeat_interval is not None:
+
+        def _beat() -> None:
+            while True:
+                time.sleep(heartbeat_interval)
+                try:
+                    _send((HEARTBEAT_ID, "hb", b"", 0.0, {}))
+                except (OSError, BrokenPipeError, ValueError):
+                    break
+
+        threading.Thread(
+            target=_beat, name=f"{pool_name}-hb-{index}", daemon=True
+        ).start()
+
     with use_session(session):
         while True:
             try:
@@ -77,15 +129,30 @@ def _worker_main(
                 break
             if envelope is None:  # drain sentinel
                 try:
-                    result_send.send((-1, "bye", b"", 0.0, {}))
+                    _send((-1, "bye", b"", 0.0, {}))
                 except (OSError, BrokenPipeError):
                     pass
                 break
             task_id, kind, payload_bytes = envelope
+            # Proactive progress beat: the parent's wedged-worker
+            # detector measures stall time from this marker, so a task
+            # that never completes is caught before its deadline.
+            try:
+                _send((task_id, "begin", b"", 0.0, {}))
+            except (OSError, BrokenPipeError):
+                break
+            if faults is not None:
+                try:
+                    faults.fire("serve.worker.crash")
+                except fault_error:
+                    os._exit(CRASH_EXIT_CODE)
+                faults.fire("serve.worker.stall")
             started = time.perf_counter()
             before = session.stats.snapshot()
             try:
                 payload = pickle.loads(payload_bytes)
+                if faults is not None:
+                    faults.fire("serve.task.error")
                 result = run_task(kind, payload, state)
                 status, data = "ok", pickle.dumps(result, protocol=-1)
             except BaseException as exc:  # noqa: BLE001 - ship, don't die
@@ -101,10 +168,22 @@ def _worker_main(
                 if after[name] != before.get(name, 0.0)
             }
             state.tasks_done += 1
+            garbled = False
+            if faults is not None:
+
+                def _garble() -> None:
+                    nonlocal garbled
+                    garbled = True
+                    try:  # a structurally bogus frame, not a result
+                        _send(("garbage-frame", index))  # type: ignore[arg-type]
+                    except (OSError, BrokenPipeError):
+                        pass
+
+                faults.fire("serve.pipe.frame", corrupt=_garble)
+            if garbled:
+                continue
             try:
-                result_send.send(
-                    (task_id, status, data, worker_seconds, delta)
-                )
+                _send((task_id, status, data, worker_seconds, delta))
             except (OSError, BrokenPipeError):
                 break
 
@@ -122,6 +201,12 @@ class Worker:
     tasks_sent: int = 0
     busy_seconds: float = 0.0
     started_at: float = field(default_factory=time.perf_counter)
+    #: wall stamp of the last envelope seen from this worker (any kind —
+    #: results, begin markers and heartbeats all prove liveness)
+    last_beat: float = field(default_factory=time.perf_counter)
+    #: set once the wedged-worker detector decided to kill this process,
+    #: so one stall is counted (and terminated) exactly once
+    wedged: bool = False
 
     def alive(self) -> bool:
         return self.process.is_alive()
@@ -141,13 +226,25 @@ class WorkerPool:
         cache_dir: Optional[str] = None,
         cache_entries: Optional[int] = None,
         name: str = "serve",
+        fault_plans: Sequence[FaultPlanSpec] = (),
+        heartbeat_interval: Optional[float] = None,
+        fault_stall_seconds: Optional[float] = None,
     ) -> None:
         self.size = max(1, size)
         self.cache_dir = cache_dir
         self.cache_entries = cache_entries
         self.name = name
+        self.fault_plans = tuple(fault_plans)
+        self.heartbeat_interval = heartbeat_interval
+        self.fault_stall_seconds = fault_stall_seconds
+        #: parent-side injector consulted at respawn (``serve.respawn``);
+        #: the service binds its session's injector here before start
+        self.faults = None
         self.workers: List[Worker] = []
+        #: slots whose respawn failed — permanently out of rotation
+        self.defunct: Set[int] = set()
         self.respawns = 0
+        self.respawn_failures = 0
         self._started = False
 
     # -- lifecycle --
@@ -166,8 +263,10 @@ class WorkerPool:
         process = Process(
             target=_worker_main,
             args=(
-                index, task_recv, result_send,
+                index, generation, task_recv, result_send,
                 self.cache_dir, self.cache_entries, self.name,
+                self.fault_plans, self.heartbeat_interval,
+                self.fault_stall_seconds,
             ),
             name=f"{self.name}-worker-{index}.{generation}",
             daemon=True,
@@ -185,7 +284,15 @@ class WorkerPool:
         )
 
     def respawn(self, index: int) -> Worker:
-        """Replace a (dead or wedged) worker with a fresh process."""
+        """Replace a (dead or wedged) worker with a fresh process.
+
+        Raises whatever the armed ``serve.respawn`` fault injects; the
+        caller (the service) marks the slot defunct via
+        :meth:`mark_defunct` — a failed respawn permanently reduces
+        capacity rather than retrying into the same failure.
+        """
+        if self.faults is not None:
+            self.faults.fire("serve.respawn")
         old = self.workers[index]
         if old.process.is_alive():
             old.process.terminate()
@@ -202,6 +309,24 @@ class WorkerPool:
         self.workers[index] = fresh
         self.respawns += 1
         return fresh
+
+    def mark_defunct(self, index: int) -> None:
+        """Take a slot permanently out of rotation (failed respawn)."""
+        self.defunct.add(index)
+        self.respawn_failures += 1
+        worker = self.workers[index]
+        if worker.process.is_alive():  # pragma: no cover - defensive
+            worker.process.terminate()
+            worker.process.join(timeout=2.0)
+        for conn in (worker.task_send, worker.result_recv):
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def live_indices(self) -> List[int]:
+        """Slot indices still in rotation (not defunct)."""
+        return [w.index for w in self.workers if w.index not in self.defunct]
 
     # -- I/O --
 
@@ -223,7 +348,11 @@ class WorkerPool:
         order and ``dead_indices`` lists workers found dead (after their
         buffered results were drained).
         """
-        conn_to_index = {w.result_recv: w.index for w in self.workers}
+        conn_to_index = {
+            w.result_recv: w.index
+            for w in self.workers
+            if w.index not in self.defunct
+        }
         ready = connection.wait(
             list(conn_to_index) + list(extra), timeout=timeout
         )
@@ -236,11 +365,13 @@ class WorkerPool:
                     messages.append((index, item.recv()))
                 except (EOFError, OSError):
                     pass  # dead worker: handled by the liveness scan below
+                except Exception:  # garbage on the pipe: a bad frame
+                    messages.append((index, ("unpicklable-frame",)))
             else:
                 ready_extras.append(item)
         dead: List[int] = []
         for worker in self.workers:
-            if worker.alive():
+            if worker.index in self.defunct or worker.alive():
                 continue
             # Drain anything the worker managed to send before dying.
             try:
@@ -259,9 +390,11 @@ class WorkerPool:
             return
         if graceful:
             for worker in self.workers:
+                if worker.index in self.defunct:
+                    continue
                 try:
                     worker.task_send.send(None)
-                except (OSError, BrokenPipeError):
+                except (OSError, BrokenPipeError, ValueError):
                     pass
             deadline = time.perf_counter() + timeout
             for worker in self.workers:

@@ -68,6 +68,18 @@ _TIMEOUTS = STAT("serve.timeouts", "tasks failed by deadline")
 _CANCELLED = STAT("serve.cancelled", "tasks cancelled by the client")
 _CRASHES = STAT("serve.worker_crashes", "workers found dead and respawned")
 _REQUEUED = STAT("serve.requeued", "in-flight tasks requeued after a crash")
+_WEDGED = STAT(
+    "serve.wedged_workers",
+    "workers killed by the stall detector before the request deadline",
+)
+_BAD_FRAMES = STAT(
+    "serve.bad_frames",
+    "malformed result frames; the sending worker is killed and its "
+    "in-flight tasks requeued",
+)
+_RESPAWN_FAILURES = STAT(
+    "serve.respawn_failures", "failed worker respawns (slot went defunct)"
+)
 
 
 class ServiceError(RuntimeError):
@@ -94,6 +106,13 @@ class WorkerCrashed(ServiceError):
     """The task's worker died on every allowed attempt."""
 
 
+class ServiceUnavailable(ServiceError):
+    """Every worker slot is defunct (failed respawns) — no capacity left.
+
+    The client-side resilience layer (:mod:`repro.serve.resilience`)
+    treats this as the signal to descend the degradation ladder."""
+
+
 class RemoteTaskError(ServiceError):
     """The task raised inside the worker; carries the remote type name."""
 
@@ -117,6 +136,9 @@ class TaskRecord:
     deadline: Optional[float]
     submitted_at: float
     sent_at: Optional[float] = None
+    #: wall stamp of the worker's "begin" marker — the stall detector
+    #: measures wedge time from here, not from dispatch
+    began_at: Optional[float] = None
     worker_index: Optional[int] = None
     attempts: int = 0
     state: str = "pending"  # pending | inflight | abandoned
@@ -137,6 +159,10 @@ class CompileService:
         retries: int = 1,
         session: Optional[CompilerSession] = None,
         name: str = "serve",
+        heartbeat_interval: Optional[float] = None,
+        stall_budget: Optional[float] = None,
+        fault_plans: Sequence[Tuple[str, str, int, bool]] = (),
+        fault_stall_seconds: Optional[float] = None,
     ) -> None:
         self.session = session if session is not None else current_session()
         self.name = name
@@ -145,11 +171,18 @@ class CompileService:
         self.max_inflight = max(1, max_inflight)
         self.default_timeout = default_timeout
         self.retries = max(0, retries)
+        #: max seconds a dispatched task may sit without completing
+        #: before its worker is declared wedged and killed (None = off)
+        self.stall_budget = stall_budget
+        self.heartbeat_interval = heartbeat_interval
         self.pool = WorkerPool(
             size=workers,
             cache_dir=cache_dir,
             cache_entries=cache_entries,
             name=name,
+            fault_plans=fault_plans,
+            heartbeat_interval=heartbeat_interval,
+            fault_stall_seconds=fault_stall_seconds,
         )
         self._lock = threading.RLock()
         self._pending: Deque[TaskRecord] = deque()
@@ -188,6 +221,9 @@ class CompileService:
             return self
         if self._closing:
             raise ServiceClosed(f"service {self.name!r} already closed")
+        # Parent-side fault sites (serve.respawn) fire through the
+        # session's injector; arm it *before* constructing the service.
+        self.pool.faults = self.session.faults
         self.spawn_seconds = self.pool.start()
         self.session.metrics.gauge(
             "serve.pool_spawn_seconds", self.spawn_seconds,
@@ -269,6 +305,11 @@ class CompileService:
             self.start()
         if self._closing:
             raise ServiceClosed(f"service {self.name!r} is closing")
+        if self.pool.defunct and not self.pool.live_indices():
+            raise ServiceUnavailable(
+                f"service {self.name!r} has no live workers left "
+                f"({len(self.pool.defunct)} defunct slot(s))"
+            )
         if not self._slots.acquire(blocking=block):
             raise ServiceOverloaded(
                 f"service {self.name!r} has {self.max_pending} unresolved "
@@ -384,6 +425,7 @@ class CompileService:
             "pending": pending,
             "inflight": inflight,
             "respawns": self.pool.respawns,
+            "defunct": sorted(self.pool.defunct),
             "uptime_seconds": round(now - self._started_at, 3),
             "compiles_per_sec": round(self.compiles_per_sec(), 3),
             "cache_dir": self.cache_dir,
@@ -399,14 +441,21 @@ class CompileService:
             pass
 
     def _worker_for(self, record: TaskRecord) -> Optional[int]:
-        """Pick a worker index with spare pipeline room, or None."""
+        """Pick a worker index with spare pipeline room, or None.
+
+        A shard pinned to a defunct slot falls back to the least-loaded
+        live worker (still deterministic: min load, lowest index wins)."""
+        defunct = self.pool.defunct
         if record.shard_key is not None:
             index = zlib.crc32(record.shard_key.encode()) % self.pool.size
-            if len(self._inflight[index]) < self.max_inflight:
-                return index
-            return None
+            if index not in defunct:
+                if len(self._inflight[index]) < self.max_inflight:
+                    return index
+                return None
         best, best_load = None, None
         for index in range(self.pool.size):
+            if index in defunct:
+                continue
             load = len(self._inflight[index])
             if load >= self.max_inflight:
                 continue
@@ -414,7 +463,25 @@ class CompileService:
                 best, best_load = index, load
         return best
 
+    def _fail_pending_unavailable(self) -> None:
+        """No live worker slots remain: fail everything still queued."""
+        with self._lock:
+            doomed = [r for r in self._pending if not r.done]
+            self._pending = deque()
+        for record in doomed:
+            self._finish(
+                record,
+                exception=ServiceUnavailable(
+                    f"service {self.name!r} has no live workers left "
+                    f"({len(self.pool.defunct)} defunct slot(s)); task "
+                    f"{record.id} ({record.kind}) cannot be dispatched"
+                ),
+            )
+
     def _dispatch_pending(self) -> None:
+        if not self.pool.live_indices():
+            self._fail_pending_unavailable()
+            return
         with self._lock:
             if not self._pending:
                 return
@@ -452,7 +519,27 @@ class CompileService:
         )
 
     def _handle_result(self, worker_index: int, envelope) -> None:
-        task_id, status, data, worker_seconds, delta = envelope
+        try:
+            task_id, status, data, worker_seconds, delta = envelope
+            if not isinstance(task_id, int) or not isinstance(status, str):
+                raise TypeError("bogus envelope field types")
+        except (TypeError, ValueError):
+            # Truncated/garbage frame: the worker's stream can no longer
+            # be trusted — kill it; the dead scan requeues its in-flight
+            # tasks through the normal crash path.
+            self._handle_bad_frame(worker_index)
+            return
+        with self._lock:
+            if worker_index < len(self.pool.workers):
+                self.pool.workers[worker_index].last_beat = time.perf_counter()
+        if status == "hb":  # periodic liveness beat, no payload
+            return
+        if status == "begin":  # task-start marker for the stall detector
+            with self._lock:
+                record = self._records.get(task_id)
+                if record is not None and record.state == "inflight":
+                    record.began_at = time.perf_counter()
+            return
         if task_id < 0:  # drain acknowledgement
             return
         with self._lock:
@@ -530,6 +617,23 @@ class CompileService:
         else:
             record.future.set_result(result)
 
+    def _handle_bad_frame(self, worker_index: int) -> None:
+        _BAD_FRAMES.resolve(self.session.stats).add()
+        self.session.remarks.recovery(
+            "serve",
+            f"bad frame from worker {worker_index}: killing it and "
+            f"requeueing its in-flight tasks",
+            worker=worker_index,
+        )
+        with self._lock:
+            if worker_index < len(self.pool.workers):
+                worker = self.pool.workers[worker_index]
+                if not worker.wedged:
+                    worker.wedged = True
+                    worker.process.terminate()
+        # Death is observed (and requeue happens) on the next wait_any
+        # pass, through the normal crash path.
+
     def _handle_dead_worker(self, index: int) -> None:
         stats = self.session.stats
         _CRASHES.resolve(stats).add()
@@ -537,7 +641,20 @@ class CompileService:
             orphans = list(self._inflight.get(index, OrderedDict()).values())
             self._inflight[index] = OrderedDict()
             if not self._stop.is_set():
-                self.pool.respawn(index)
+                try:
+                    self.pool.respawn(index)
+                except Exception as exc:
+                    _RESPAWN_FAILURES.resolve(stats).add()
+                    self.pool.mark_defunct(index)
+                    self.session.remarks.recovery(
+                        "serve",
+                        f"respawn of worker {index} failed "
+                        f"({type(exc).__name__}: {exc}); slot defunct, "
+                        f"{len(self.pool.live_indices())} live worker(s) "
+                        f"remain",
+                        worker=index,
+                        error=type(exc).__name__,
+                    )
         crashed: List[TaskRecord] = []
         with self._lock:
             for record in orphans:
@@ -601,6 +718,70 @@ class CompileService:
             # death is observed (and requeue happens) on the next
             # wait_any pass, through the normal crash path
 
+    def _check_wedged(self) -> None:
+        """Proactive wedged-worker detection, ahead of request deadlines.
+
+        Two signals, both opt-in: a worker whose *oldest* dispatched task
+        has been running longer than ``stall_budget`` since its "begin"
+        marker is wedged (the task will never finish); a worker with
+        in-flight work whose heartbeat went silent for four intervals is
+        frozen.  Either way the process is killed now — requeue happens
+        through the normal crash path — so the requeued task can still
+        make its request deadline instead of timing out."""
+        stall_budget = self.stall_budget
+        beat_timeout = (
+            self.heartbeat_interval * 4.0
+            if self.heartbeat_interval is not None
+            else None
+        )
+        if stall_budget is None and beat_timeout is None:
+            return
+        now = time.perf_counter()
+        victims: List[Tuple[int, str]] = []
+        with self._lock:
+            for worker in self.pool.workers:
+                index = worker.index
+                if index in self.pool.defunct or worker.wedged:
+                    continue
+                inflight = self._inflight.get(index)
+                if not inflight:
+                    continue
+                oldest = next(iter(inflight.values()))
+                began = oldest.began_at
+                if (
+                    stall_budget is not None
+                    and began is not None
+                    and now - began > stall_budget
+                ):
+                    victims.append((
+                        index,
+                        f"task {oldest.id} ({oldest.kind}) stalled "
+                        f"{now - began:.2f}s > budget {stall_budget:.2f}s",
+                    ))
+                elif (
+                    beat_timeout is not None
+                    and now - worker.last_beat > beat_timeout
+                ):
+                    victims.append((
+                        index,
+                        f"no heartbeat for {now - worker.last_beat:.2f}s "
+                        f"with {len(inflight)} task(s) in flight",
+                    ))
+        stats = self.session.stats
+        for index, reason in victims:
+            _WEDGED.resolve(stats).add()
+            self.session.remarks.recovery(
+                "serve",
+                f"wedged worker {index}: {reason}; killing and "
+                f"respawning before the request deadline",
+                worker=index,
+            )
+            with self._lock:
+                if index < len(self.pool.workers):
+                    worker = self.pool.workers[index]
+                    worker.wedged = True
+                    worker.process.terminate()
+
     def _dispatch_loop(self) -> None:
         while True:
             self._dispatch_pending()
@@ -618,6 +799,7 @@ class CompileService:
                 if self._stop.is_set():
                     continue
                 self._handle_dead_worker(index)
+            self._check_wedged()
             self._check_deadlines()
             if self._stop.is_set():
                 with self._lock:

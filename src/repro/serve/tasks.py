@@ -163,13 +163,20 @@ def run_from_json(data: Dict[str, object]):
 
 
 def _bench_task_key(state: WorkerState, pair) -> str:
-    """Content hash of everything a bench pair's outcome depends on."""
+    """Content hash of everything a bench pair's outcome depends on.
+
+    The repro-source fingerprint is part of "everything": a store warmed
+    by an older checkout misses after a code change instead of replaying
+    counters the current compiler would not produce.
+    """
+    from ..vectorizer.cache import repro_source_fingerprint
+
     kernel_name, config_name, target_name, seed, _, _, journal, _ = pair
     hasher = hashlib.sha256()
     hasher.update(state.module_text(kernel_name).encode("utf-8"))
     hasher.update(
         f"\x00{config_name}\x00{target_name}\x00{seed}\x00{int(journal)}"
-        f"\x00{BENCH_TASK_FORMAT}".encode()
+        f"\x00{BENCH_TASK_FORMAT}\x00{repro_source_fingerprint()}".encode()
     )
     return hasher.hexdigest()
 

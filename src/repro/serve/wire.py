@@ -28,8 +28,17 @@ in-flight work before the acknowledgement line is written.
 
 Two servers share this logic: :func:`serve_stream` (stdin/stdout, the
 default for ``repro serve``) and :class:`SocketServer` (an AF_UNIX
-socket accepting multiple sequential clients, used by the CI smoke test
-and :class:`ServiceClient`).
+socket serving concurrent clients, one thread per connection, used by
+the CI smoke test and :class:`ServiceClient`).
+
+Hardening: frames larger than :data:`MAX_FRAME_BYTES` or that are not a
+JSON object draw a typed error reply (``FrameTooLarge`` / ``BadRequest``)
+instead of tearing down the connection loop, and each socket client gets
+its own stream state so one client's garbage cannot wedge another.  The
+``serve.socket.disconnect`` fault site fires here (through the service
+session's injector — never the ambient one, this runs on server threads)
+and models the server dropping a connection mid-request;
+:class:`ServiceClient` answers it with a bounded reconnect-and-resend.
 """
 
 from __future__ import annotations
@@ -43,6 +52,11 @@ from typing import Dict, IO, List, Optional, Tuple
 from ..bench.runner import DEFAULT_SEED
 from .service import CompileService, ServiceError
 from .tasks import run_to_json
+
+#: hard per-line cap for inbound request frames; a line longer than this
+#: is answered with a ``FrameTooLarge`` error and skipped, because no
+#: legitimate request (even a whole-module ``compile`` source) gets close
+MAX_FRAME_BYTES = 1 << 20
 
 
 def _task_for_request(doc: Dict[str, object]) -> Tuple[str, object, Optional[str]]:
@@ -100,12 +114,18 @@ def serve_stream(
     in_stream: IO[str],
     out_stream: IO[str],
     banner: Optional[IO[str]] = None,
+    faults: Optional[object] = None,
 ) -> bool:
     """Serve JSONL requests from ``in_stream`` until EOF or ``shutdown``.
 
     Returns True when the client asked for ``shutdown`` (socket servers
     use that to stop accepting).  Every submitted request is answered
     before this function returns — EOF triggers a drain, not a drop.
+
+    ``faults`` is a :class:`~repro.robust.faults.FaultInjector` (or
+    None); the ``serve.socket.disconnect`` site fires per accepted
+    request and, when armed, abandons the stream without answering —
+    the client sees the connection close mid-request.
     """
     write_lock = threading.Lock()
     # One event per accepted request, set *after* its reply line is
@@ -117,37 +137,59 @@ def serve_stream(
     def reply(doc: Dict[str, object]) -> None:
         line = json.dumps(doc, sort_keys=True)
         with write_lock:
-            out_stream.write(line + "\n")
-            out_stream.flush()
+            try:
+                out_stream.write(line + "\n")
+                out_stream.flush()
+            except (BrokenPipeError, ValueError, OSError):
+                pass  # client vanished mid-reply; nobody left to answer
 
     def on_done(request_id: object, kind: str, replied: threading.Event):
         def callback(future) -> None:
             try:
-                result = future.result()
-            except ServiceError as exc:
-                reply({
-                    "id": request_id,
-                    "ok": False,
-                    "error": {"type": type(exc).__name__, "message": str(exc)},
-                })
-            except Exception as exc:  # pragma: no cover - defensive
-                reply({
-                    "id": request_id,
-                    "ok": False,
-                    "error": {"type": type(exc).__name__, "message": str(exc)},
-                })
-            else:
-                reply({
-                    "id": request_id,
-                    "ok": True,
-                    "result": _result_for_wire(kind, result),
-                })
-            replied.set()
+                try:
+                    result = future.result()
+                except ServiceError as exc:
+                    reply({
+                        "id": request_id,
+                        "ok": False,
+                        "error": {
+                            "type": type(exc).__name__, "message": str(exc)
+                        },
+                    })
+                except Exception as exc:  # pragma: no cover - defensive
+                    reply({
+                        "id": request_id,
+                        "ok": False,
+                        "error": {
+                            "type": type(exc).__name__, "message": str(exc)
+                        },
+                    })
+                else:
+                    reply({
+                        "id": request_id,
+                        "ok": True,
+                        "result": _result_for_wire(kind, result),
+                    })
+            finally:
+                replied.set()
 
         return callback
 
     shutdown = False
     for line in in_stream:
+        if len(line) > MAX_FRAME_BYTES:
+            reply({
+                "id": None,
+                "ok": False,
+                "error": {
+                    "type": "FrameTooLarge",
+                    "message": (
+                        f"request frame is {len(line)} bytes; the limit "
+                        f"is {MAX_FRAME_BYTES}"
+                    ),
+                },
+            })
+            continue
         line = line.strip()
         if not line:
             continue
@@ -160,6 +202,26 @@ def serve_stream(
                 "error": {"type": "BadRequest", "message": f"bad JSON: {exc}"},
             })
             continue
+        if not isinstance(doc, dict):
+            reply({
+                "id": None,
+                "ok": False,
+                "error": {
+                    "type": "BadRequest",
+                    "message": "request frame must be a JSON object",
+                },
+            })
+            continue
+        if faults is not None and getattr(faults, "armed", None):
+            from ..robust.faults import FaultError
+
+            try:
+                faults.fire("serve.socket.disconnect")
+            except FaultError:
+                # Model a dropped connection: stop reading, answer what
+                # was already accepted, and let the close surface as a
+                # mid-request EOF on the client side.
+                break
         request_id = doc.get("id")
         kind = doc.get("kind")
         if kind == "shutdown":
@@ -198,7 +260,13 @@ def serve_stream(
 
 
 class SocketServer:
-    """AF_UNIX JSONL server: one client at a time, until ``shutdown``."""
+    """AF_UNIX JSONL server: one thread per client, until ``shutdown``.
+
+    Each connection gets its own :func:`serve_stream` (own read loop,
+    write lock and outstanding-reply set), so framing damage from one
+    client — oversized lines, garbage JSON, a mid-request disconnect —
+    never bleeds into another client's stream.
+    """
 
     def __init__(self, service: CompileService, path: str) -> None:
         self.service = service
@@ -210,6 +278,7 @@ class SocketServer:
         self._sock.listen(8)
         self._sock.settimeout(0.25)
         self._shutdown = threading.Event()
+        self._clients: List[threading.Thread] = []
 
     def serve_forever(self) -> None:
         try:
@@ -218,17 +287,44 @@ class SocketServer:
                     client, _ = self._sock.accept()
                 except socket.timeout:
                     continue
-                with client:
-                    rfile = client.makefile("r", encoding="utf-8")
-                    wfile = client.makefile("w", encoding="utf-8")
-                    try:
-                        if serve_stream(self.service, rfile, wfile):
-                            self._shutdown.set()
-                    finally:
-                        rfile.close()
-                        wfile.close()
+                except OSError:
+                    break
+                thread = threading.Thread(
+                    target=self._handle_client,
+                    args=(client,),
+                    name="serve-client",
+                    daemon=True,
+                )
+                thread.start()
+                self._clients.append(thread)
         finally:
+            for thread in self._clients:
+                thread.join(timeout=10.0)
             self.close()
+
+    def _handle_client(self, client: socket.socket) -> None:
+        with client:
+            rfile = client.makefile("r", encoding="utf-8")
+            wfile = client.makefile("w", encoding="utf-8")
+            try:
+                # Server threads never see the submitting thread's
+                # contextvars — fault firing must go through the
+                # service session's injector explicitly.
+                if serve_stream(
+                    self.service,
+                    rfile,
+                    wfile,
+                    faults=self.service.session.faults,
+                ):
+                    self._shutdown.set()
+            except (BrokenPipeError, ConnectionResetError, OSError):
+                pass  # this client is gone; others keep their threads
+            finally:
+                for stream in (rfile, wfile):
+                    try:
+                        stream.close()
+                    except OSError:
+                        pass
 
     def request_shutdown(self) -> None:
         self._shutdown.set()
@@ -245,23 +341,63 @@ class SocketServer:
 
 
 class ServiceClient:
-    """Minimal blocking JSONL client for an AF_UNIX ``repro serve``."""
+    """Blocking JSONL client for an AF_UNIX ``repro serve``.
 
-    def __init__(self, path: str, timeout: Optional[float] = 60.0) -> None:
+    When the server drops the connection mid-request (EOF on a pending
+    response, or a reset on send), the client reconnects up to
+    ``max_reconnects`` times and *resends every unanswered request* —
+    task runners are deterministic and result-cached, so a replayed
+    request is safe.  Reconnects exhausted → :class:`ConnectionError`.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        timeout: Optional[float] = 60.0,
+        max_reconnects: int = 1,
+    ) -> None:
+        self.path = path
+        self.timeout = timeout
+        self.max_reconnects = max(0, max_reconnects)
+        self.reconnects = 0
+        #: request id -> document, for every request not yet answered
+        self._unanswered: Dict[object, Dict[str, object]] = {}
+        self._next_id = 1
+        self._connect()
+
+    def _connect(self) -> None:
         self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        self._sock.settimeout(timeout)
-        self._sock.connect(path)
+        self._sock.settimeout(self.timeout)
+        self._sock.connect(self.path)
         self._rfile = self._sock.makefile("r", encoding="utf-8")
         self._wfile = self._sock.makefile("w", encoding="utf-8")
-        self._next_id = 1
 
-    def close(self) -> None:
+    def _reconnect(self, cause: str) -> None:
+        if self.reconnects >= self.max_reconnects:
+            raise ConnectionError(
+                f"server dropped the connection ({cause}) and the "
+                f"reconnect budget ({self.max_reconnects}) is spent"
+            )
+        self.reconnects += 1
+        self.close(_keep_state=True)
+        self._connect()
+        # Replay everything still waiting for an answer, oldest first
+        # so the server sees the original submission order.
+        for doc in list(self._unanswered.values()):
+            self._write(doc)
+
+    def close(self, _keep_state: bool = False) -> None:
         for stream in (self._rfile, self._wfile):
             try:
                 stream.close()
-            except OSError:
+            except (OSError, ValueError):
                 pass
-        self._sock.close()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        if not _keep_state:
+            self._unanswered.clear()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -269,25 +405,39 @@ class ServiceClient:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
+    def _write(self, doc: Dict[str, object]) -> None:
+        self._wfile.write(json.dumps(doc) + "\n")
+        self._wfile.flush()
+
     def _send(self, doc: Dict[str, object]) -> object:
         if "id" not in doc:
             doc = dict(doc)
             doc["id"] = self._next_id
             self._next_id += 1
-        self._wfile.write(json.dumps(doc) + "\n")
-        self._wfile.flush()
+        self._unanswered[doc["id"]] = doc
+        try:
+            self._write(doc)
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            self._reconnect(f"{type(exc).__name__} on send")
         return doc["id"]
 
     def _read_until(self, wanted_ids) -> Dict[object, Dict[str, object]]:
         responses: Dict[object, Dict[str, object]] = {}
         remaining = set(wanted_ids)
         while remaining:
-            line = self._rfile.readline()
+            try:
+                line = self._rfile.readline()
+            except (ConnectionResetError, BrokenPipeError) as exc:
+                self._reconnect(f"{type(exc).__name__} on read")
+                continue
             if not line:
-                raise ConnectionError("server closed the connection")
+                self._reconnect("EOF with responses pending")
+                continue
             response = json.loads(line)
-            responses[response.get("id")] = response
-            remaining.discard(response.get("id"))
+            request_id = response.get("id")
+            responses[request_id] = response
+            self._unanswered.pop(request_id, None)
+            remaining.discard(request_id)
         return responses
 
     def request(self, doc: Dict[str, object]) -> Dict[str, object]:

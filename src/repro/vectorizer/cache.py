@@ -67,10 +67,53 @@ STAT_CORRUPT = STAT(
 STAT_CROSS_WORKER = STAT(
     "cache.cross_worker_hits", "disk hits on entries written by another process"
 )
+STAT_INDEX_REBUILDS = STAT(
+    "cache.index_rebuilds", "recency indexes found corrupt and rebuilt from mtimes"
+)
 
 #: bump when the serialized entry layout changes; stale-version entries
 #: on disk are treated as misses rather than deserialization errors
 CACHE_FORMAT = 2
+
+_SOURCE_FINGERPRINT: Optional[str] = None
+
+
+def repro_source_fingerprint(refresh: bool = False) -> str:
+    """Content hash of every ``repro`` source module, cached per process.
+
+    Folded into cache keys so a persistent cache directory survives a
+    code change *safely*: entries written by an older checkout simply
+    stop matching and recompile, instead of replaying counters/reports
+    the current compiler would no longer produce.  The
+    ``REPRO_SOURCE_FINGERPRINT`` environment variable overrides the
+    computed value (tests use it to simulate a code change without
+    editing files).
+    """
+    global _SOURCE_FINGERPRINT
+    override = os.environ.get("REPRO_SOURCE_FINGERPRINT")
+    if override:
+        return override
+    if _SOURCE_FINGERPRINT is None or refresh:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        hasher = hashlib.sha256()
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, name)
+                relative = os.path.relpath(path, root)
+                try:
+                    with open(path, "rb") as handle:
+                        body = handle.read()
+                except OSError:
+                    continue
+                hasher.update(relative.encode("utf-8"))
+                hasher.update(b"\x00")
+                hasher.update(body)
+                hasher.update(b"\x00")
+        _SOURCE_FINGERPRINT = hasher.hexdigest()[:16]
+    return _SOURCE_FINGERPRINT
 
 
 def cache_key(
@@ -83,6 +126,7 @@ def cache_key(
     hasher = hashlib.sha256()
     hasher.update(print_module(module).encode("utf-8"))
     hasher.update(f"\x00{config.name}\x00{target.name}\x00{unroll_factor}".encode())
+    hasher.update(f"\x00{repro_source_fingerprint()}".encode())
     return hasher.hexdigest()
 
 
@@ -246,14 +290,27 @@ class SharedJsonStore:
     # -- recency index (call only under the lock) --
 
     def _read_index(self) -> Dict[str, float]:
+        corrupt = False
         try:
             with open(self._index_path, "r", encoding="utf-8") as handle:
                 data = json.load(handle)
-            entries = data.get("entries")
+            entries = data.get("entries") if isinstance(data, dict) else None
             if isinstance(entries, dict):
                 return {str(key): float(stamp) for key, stamp in entries.items()}
+            corrupt = True
+        except FileNotFoundError:
+            pass  # fresh store: no index yet, nothing to recover from
         except (OSError, ValueError, TypeError):
-            pass
+            corrupt = True
+        if corrupt:
+            session = current_session()
+            STAT_INDEX_REBUILDS.resolve(session.stats).add()
+            session.remarks.recovery(
+                "cache",
+                f"recency index for {self.namespace!r} store was corrupt; "
+                f"rebuilt from entry mtimes (no documents lost)",
+                namespace=self.namespace,
+            )
         # Rebuild from directory mtimes: the index is a hint, not truth.
         entries: Dict[str, float] = {}
         for name in os.listdir(self.directory):
@@ -278,6 +335,20 @@ class SharedJsonStore:
             entries = self._read_index()
             entries[key] = time.time()
             self._write_index(entries)
+
+    def _fire_index_fault(self) -> None:
+        """``serve.cache.index`` fault hook: scribble garbage over the
+        recency index so the next ``_read_index`` exercises the rebuild
+        path.  One attribute check when nothing is armed."""
+        faults = current_session().faults
+        if faults is None or not getattr(faults, "armed", None):
+            return
+
+        def _scribble() -> None:
+            with open(self._index_path, "w", encoding="utf-8") as handle:
+                handle.write('{"entries": {truncated garbage')
+
+        faults.fire("serve.cache.index", corrupt=_scribble)
 
     # -- public API --
 
@@ -313,6 +384,7 @@ class SharedJsonStore:
             json.dump({"pid": os.getpid(), "doc": doc}, handle)
         os.replace(tmp, path)
         with self._locked():
+            self._fire_index_fault()
             entries = self._read_index()
             entries[key] = time.time()
             if self.max_entries is not None:

@@ -1,10 +1,16 @@
-"""Tests for the compile service (PR 7).
+"""Tests for the compile service (PR 7) and its chaos hardening (PR 8).
 
 Covers the lifecycle contract of :mod:`repro.serve` — crash → respawn +
 requeue with results still bit-identical to serial, graceful drain,
 typed timeout/cancel/backpressure errors — plus the shared cross-worker
 store (LRU eviction, corruption-as-miss), the marshal-time satellite
 fix, the JSONL wire protocol, and the CLI exit-code convention.
+
+PR 8 adds the resilience layer (deterministic backoff, circuit breaker,
+degradation ladder), wire hardening (frame limits, client reconnect,
+concurrent socket clients), the repro-source cache fingerprint, and the
+no-escape contract: every service fault scenario must classify as
+``recovered`` or ``degraded``, never ``escaped``/``fatal``.
 """
 
 import io
@@ -31,9 +37,32 @@ from repro.serve.service import (
     TaskTimeout,
     WorkerCrashed,
 )
-from repro.serve.wire import ServiceClient, SocketServer, serve_stream
+from repro.robust.faults import FaultInjector
+from repro.serve.chaos import (
+    _bench_workload,
+    _execute_scenario,
+    _fuzz_workload,
+    _socket_workload,
+    chaos_scenarios,
+)
+from repro.serve.resilience import (
+    CircuitBreaker,
+    ResiliencePolicy,
+    ResilientExecutor,
+    backoff_delay,
+)
+from repro.serve.wire import (
+    MAX_FRAME_BYTES,
+    ServiceClient,
+    SocketServer,
+    serve_stream,
+)
 from repro.vectorizer import SNSLP_CONFIG, CompileCache, cached_compile_module
-from repro.vectorizer.cache import SharedJsonStore, cache_key
+from repro.vectorizer.cache import (
+    SharedJsonStore,
+    cache_key,
+    repro_source_fingerprint,
+)
 
 MOTIVATING = ("motiv-leaf-reorder", "motiv-trunk-reorder")
 
@@ -347,6 +376,296 @@ class TestWireProtocol:
             thread.join(timeout=10)
             assert not thread.is_alive()
         assert not os.path.exists(path)
+
+
+class TestResilience:
+    def test_backoff_jitter_is_deterministic_and_bounded(self):
+        policy = ResiliencePolicy(seed=7)
+        delays = [backoff_delay(policy, n, token="shard-a") for n in (1, 2, 3)]
+        replay = [backoff_delay(policy, n, token="shard-a") for n in (1, 2, 3)]
+        assert delays == replay  # no global RNG: schedules replay exactly
+        for attempt, delay in enumerate(delays, start=1):
+            base = min(
+                policy.backoff_max_seconds,
+                policy.backoff_base_seconds
+                * policy.backoff_factor ** (attempt - 1),
+            )
+            assert base * (1 - policy.jitter_ratio) <= delay
+            assert delay <= base * (1 + policy.jitter_ratio)
+        assert backoff_delay(policy, 0) == 0.0
+        other_seed = ResiliencePolicy(seed=8)
+        assert backoff_delay(other_seed, 1, token="shard-a") != delays[0]
+
+    def test_circuit_breaker_state_machine(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            failures_to_trip=2, cooldown_seconds=10.0, clock=lambda: clock[0]
+        )
+        assert breaker.allow()
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is True  # second failure trips
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        clock[0] = 10.5  # cooldown lapsed: half-open admits one probe
+        assert breaker.allow()
+        assert not breaker.allow()
+        assert breaker.record_failure() is True  # failed probe re-opens
+        assert breaker.state == "open"
+        clock[0] = 21.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow() and breaker.allow()
+        assert breaker.trips == 2
+
+    def test_retry_recovers_bit_identical_results(self):
+        """A transient worker fault is retried against the same service;
+        the retried result equals a serial run bit-for-bit."""
+        expected, _ = _run_pair(PAIR)
+        session = service_session()
+        policy = ResiliencePolicy(
+            backoff_base_seconds=0.001, backoff_max_seconds=0.01
+        )
+        with CompileService(
+            workers=1, session=session, name="t-retry",
+            fault_plans=[("serve.task.error", "raise", 0, True)],
+        ) as svc:
+            with ResilientExecutor(svc, policy=policy, session=session) as ex:
+                results = ex.run_batch(
+                    [("bench-pair", (PAIR, False), PAIR[0], 1.0)]
+                )
+        run, _capture = results[0]
+        assert run.cycles == expected.cycles
+        assert run.counters == expected.counters
+        assert run.outputs == expected.outputs
+        assert session.stats.value("serve.retries") >= 1
+        assert session.stats.value("serve.degraded") == 0
+
+    def test_no_service_degrades_to_serial_with_identical_results(self):
+        """The bottom rung: no service at all, tasks still complete with
+        results identical to a direct serial run."""
+        expected, _ = _run_pair(PAIR)
+        session = service_session()
+        session.remarks.enable()
+        policy = ResiliencePolicy(local_pool_workers=0)
+        with ResilientExecutor(None, policy=policy, session=session) as ex:
+            results = ex.run_batch(
+                [("bench-pair", (PAIR, False), None, 1.0)]
+            )
+        run, _capture = results[0]
+        assert run.cycles == expected.cycles
+        assert run.counters == expected.counters
+        assert run.outputs == expected.outputs
+        assert session.stats.value("serve.degraded") == 1
+        rungs = [
+            remark.args["rung"]
+            for remark in session.remarks.of_kind("recovery")
+        ]
+        assert rungs == ["serial"]
+
+
+@pytest.fixture(scope="module")
+def chaos_baselines():
+    """Fault-free workload fingerprints, computed once for the module."""
+    session = CompilerSession(name="t-chaos-baseline")
+    baselines = {
+        "bench": _bench_workload(session, (MOTIVATING[0],), None, None),
+        "fuzz": _fuzz_workload(session, 0, 8, None, None),
+    }
+    socket_session = CompilerSession(name="t-chaos-baseline-sock")
+    with CompileService(
+        workers=2, session=socket_session, name="t-chaos-base"
+    ) as svc:
+        baselines["socket"], _ = _socket_workload(socket_session, svc)
+    return baselines
+
+
+class TestChaosNoEscape:
+    @pytest.mark.parametrize(
+        "scenario", chaos_scenarios(), ids=lambda scenario: scenario.name
+    )
+    def test_armed_scenario_never_escapes(self, scenario, chaos_baselines):
+        """The no-escape contract over every service (site, mode): each
+        armed scenario finishes recovered or degraded — bit-identical to
+        the fault-free baseline — and the fault verifiably fired."""
+        status, detail, _counters = _execute_scenario(
+            scenario,
+            repetition=0,
+            seed=0,
+            baselines=chaos_baselines,
+            kernel_names=(MOTIVATING[0],),
+            fuzz_programs=8,
+        )
+        assert status in ("recovered", "degraded"), (scenario.name, detail)
+        assert "did not fire" not in detail, (scenario.name, detail)
+
+
+class TestWireHardening:
+    def test_oversized_frame_draws_typed_error(self):
+        big = json.dumps({"id": 1, "kind": "ping", "pad": "x" * MAX_FRAME_BYTES})
+        requests = "\n".join([
+            big,
+            json.dumps({"id": 2, "kind": "ping"}),
+            json.dumps({"id": 3, "kind": "shutdown"}),
+        ]) + "\n"
+        out = io.StringIO()
+        with CompileService(workers=1, session=service_session(),
+                            name="t-frame") as svc:
+            serve_stream(svc, io.StringIO(requests), out)
+        responses = {
+            doc.get("id"): doc
+            for doc in map(json.loads, out.getvalue().splitlines())
+        }
+        assert not responses[None]["ok"]
+        assert responses[None]["error"]["type"] == "FrameTooLarge"
+        # the loop survived: later frames on the same stream still answer
+        assert responses[2]["ok"]
+        assert responses[3]["result"] == {"shutdown": True}
+
+    def test_non_object_frame_draws_bad_request(self):
+        requests = "\n".join([
+            json.dumps([1, 2, 3]),
+            json.dumps({"id": 2, "kind": "shutdown"}),
+        ]) + "\n"
+        out = io.StringIO()
+        with CompileService(workers=1, session=service_session(),
+                            name="t-nonobj") as svc:
+            serve_stream(svc, io.StringIO(requests), out)
+        responses = {
+            doc.get("id"): doc
+            for doc in map(json.loads, out.getvalue().splitlines())
+        }
+        assert not responses[None]["ok"]
+        assert responses[None]["error"]["type"] == "BadRequest"
+        assert responses[2]["ok"]
+
+    def test_client_reconnects_after_server_drop(self, tmp_path):
+        """The server drops the connection mid-session (injected fault);
+        the client reconnects once, resends, and every request answers."""
+        path = str(tmp_path / "serve.sock")
+        session = service_session()
+        session.faults = FaultInjector()
+        session.faults.arm(
+            "serve.socket.disconnect", "raise", skip=2, once=True
+        )
+        with CompileService(workers=1, session=session, name="t-recon") as svc:
+            server = SocketServer(svc, path)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            try:
+                with ServiceClient(path, max_reconnects=1) as client:
+                    responses = client.batch(
+                        [{"kind": "ping"} for _ in range(5)]
+                    )
+                    assert client.reconnects == 1
+            finally:
+                server.request_shutdown()
+                thread.join(timeout=10)
+        assert len(responses) == 5
+        assert all(doc["ok"] for doc in responses)
+
+    def test_reconnect_budget_exhaustion_raises(self, tmp_path):
+        path = str(tmp_path / "serve.sock")
+        session = service_session()
+        session.faults = FaultInjector()
+        session.faults.arm("serve.socket.disconnect", "raise", skip=0)
+        with CompileService(workers=1, session=session, name="t-budget") as svc:
+            server = SocketServer(svc, path)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            try:
+                with pytest.raises(ConnectionError):
+                    with ServiceClient(path, max_reconnects=1) as client:
+                        client.batch([{"kind": "ping"} for _ in range(4)])
+            finally:
+                server.request_shutdown()
+                thread.join(timeout=10)
+
+    def test_concurrent_socket_clients(self, tmp_path):
+        """Several clients share one socket server; each gets its own
+        stream state and every request answers on the right connection."""
+        path = str(tmp_path / "serve.sock")
+        results = {}
+        errors = []
+
+        def drive(index: int) -> None:
+            try:
+                with ServiceClient(path) as client:
+                    results[index] = client.batch(
+                        [{"kind": "ping"} for _ in range(3)]
+                    )
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append((index, exc))
+
+        with CompileService(workers=2, session=service_session(),
+                            name="t-multi") as svc:
+            server = SocketServer(svc, path)
+            server_thread = threading.Thread(
+                target=server.serve_forever, daemon=True
+            )
+            server_thread.start()
+            try:
+                clients = [
+                    threading.Thread(target=drive, args=(index,))
+                    for index in range(3)
+                ]
+                for thread in clients:
+                    thread.start()
+                for thread in clients:
+                    thread.join(timeout=30)
+            finally:
+                server.request_shutdown()
+                server_thread.join(timeout=10)
+        assert not errors
+        assert sorted(results) == [0, 1, 2]
+        for responses in results.values():
+            assert len(responses) == 3
+            assert all(doc["ok"] for doc in responses)
+
+
+class TestSourceFingerprint:
+    def test_cache_key_folds_source_fingerprint(self, monkeypatch):
+        """Simulated code change (env override) → different cache keys,
+        so persistent stores warmed by an older checkout miss cleanly."""
+        module = kernel_named(MOTIVATING[0]).build()
+        monkeypatch.setenv("REPRO_SOURCE_FINGERPRINT", "checkout-a")
+        key_a = cache_key(module, SNSLP_CONFIG)
+        monkeypatch.setenv("REPRO_SOURCE_FINGERPRINT", "checkout-b")
+        key_b = cache_key(module, SNSLP_CONFIG)
+        assert key_a != key_b
+        monkeypatch.delenv("REPRO_SOURCE_FINGERPRINT")
+        assert cache_key(module, SNSLP_CONFIG) not in (key_a, key_b)
+
+    def test_fingerprint_is_stable_within_a_checkout(self):
+        assert repro_source_fingerprint() == repro_source_fingerprint()
+        assert len(repro_source_fingerprint()) == 16
+
+    def test_stale_store_entries_miss_after_code_change(
+        self, tmp_path, monkeypatch
+    ):
+        module = kernel_named(MOTIVATING[0]).build()
+        monkeypatch.setenv("REPRO_SOURCE_FINGERPRINT", "old-checkout")
+        with use_session(CompilerSession(name="warm")):
+            cached_compile_module(
+                module, SNSLP_CONFIG, cache=CompileCache(str(tmp_path)),
+            )
+        monkeypatch.setenv("REPRO_SOURCE_FINGERPRINT", "new-checkout")
+        fresh = CompileCache(str(tmp_path))
+        assert fresh.lookup(cache_key(module, SNSLP_CONFIG)) is None
+
+    def test_corrupt_recency_index_is_rebuilt_without_data_loss(
+        self, tmp_path
+    ):
+        session = service_session()
+        with use_session(session):
+            store = SharedJsonStore(str(tmp_path), namespace="t", max_entries=4)
+            store.put("a", {"value": 1})
+            with open(store._index_path, "w", encoding="utf-8") as handle:
+                handle.write('{"entries": {truncated garbage')
+            store.put("b", {"value": 2})
+            assert store.get("a") == {"value": 1}
+            assert store.get("b") == {"value": 2}
+        assert session.stats.value("cache.index_rebuilds") == 1
 
 
 class TestCLIExitCodes:
