@@ -123,6 +123,24 @@ def emit_bench(
     )
     overhead = parallel_session.stats.snapshot()
 
+    # Engine-only throughput, scalar vs batched, over the same suite —
+    # the PR 9 headline.  interpreter_throughput times interp.run alone
+    # (the sim.instructions_per_sec gauge's definition), so the ratio is
+    # the planned engine's speedup with shared harness work excluded.
+    from repro.bench.timing import interpreter_throughput
+
+    engine_rates = {
+        name: interpreter_throughput(engine=name, repeats=3)
+        for name in ("scalar", "batched")
+    }
+    scalar_rate = engine_rates["scalar"]["instructions_per_sec"]
+    batched_rate = engine_rates["batched"]["instructions_per_sec"]
+    engine_speedup = batched_rate / scalar_rate if scalar_rate else 0.0
+    plan_cache = {
+        key: sum(run.counters.get(key, 0.0) for run in runs)
+        for key in ("interp.plan_cache.hits", "interp.plan_cache.misses")
+    }
+
     document = {
         "figure": "fig5_kernel_speedups",
         "speedups": {
@@ -163,6 +181,12 @@ def emit_bench(
             "simulate_seconds": round(simulate_seconds, 3),
             "instructions_per_sec": round(instructions_per_sec),
         },
+        "engines": {
+            "scalar_instructions_per_sec": round(scalar_rate),
+            "batched_instructions_per_sec": round(batched_rate),
+            "engine_speedup": round(engine_speedup, 2),
+            "plan_cache": plan_cache,
+        },
         "parallel_overhead_seconds": {
             "overhead": round(overhead.get("parallel.overhead_seconds", 0.0), 3),
             # 6 decimals: marshal is ~1e-4s per suite and rounding to 3
@@ -182,7 +206,9 @@ def emit_bench(
         f"{compiles_per_sec:,.0f} pairs/s), "
         f"compile p50 {document['compile_seconds']['p50'] * 1e3:.2f}ms / "
         f"p99 {document['compile_seconds']['p99'] * 1e3:.2f}ms, "
-        f"interp {instructions_per_sec:,.0f} insns/s"
+        f"interp {instructions_per_sec:,.0f} insns/s, "
+        f"engines scalar {scalar_rate:,.0f} vs batched {batched_rate:,.0f} "
+        f"insns/s ({engine_speedup:.1f}x)"
     )
 
     if history_db is not None:
@@ -192,6 +218,8 @@ def emit_bench(
             "emit.compile.seconds.p50": document["compile_seconds"]["p50"],
             "emit.compile.seconds.p99": document["compile_seconds"]["p99"],
             "emit.interp.instructions_per_sec": instructions_per_sec,
+            "emit.interp.engine_speedup": engine_speedup,
+            "sim.instructions_per_sec": batched_rate,
             "emit.suite.serial_seconds": serial_seconds,
             "emit.parallel.overhead_seconds": overhead.get(
                 "parallel.overhead_seconds", 0.0

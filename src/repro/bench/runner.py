@@ -76,6 +76,7 @@ def run_kernel_config(
     seed: int = DEFAULT_SEED,
     session: Optional[CompilerSession] = None,
     journal: bool = False,
+    engine: Optional[str] = None,
 ) -> KernelRun:
     """Compile ``kernel`` under ``config`` and simulate one invocation.
 
@@ -84,6 +85,8 @@ def run_kernel_config(
     simulation cycle histogram — and nothing else.  ``journal=True``
     records the compile's decision journal into the run's ``journal``
     summary (a private journal: the caller's is never touched).
+    ``engine`` selects the execution engine for the simulation (``None``
+    = process default); cycle totals are engine-independent.
     """
     own = session if session is not None else current_session().derive(
         name=f"bench:{kernel.name}/{config.name}"
@@ -101,6 +104,7 @@ def run_kernel_config(
         [kernel.trip_count],
         inputs=inputs,
         session=own,
+        engine=engine,
     )
     counters = own.stats.snapshot()
     metrics = own.metrics
@@ -148,6 +152,7 @@ def run_kernel_matrix(
     target: TargetMachine = DEFAULT_TARGET,
     seed: int = DEFAULT_SEED,
     journal: bool = False,
+    engine: Optional[str] = None,
 ) -> Dict[str, KernelRun]:
     """Run ``kernel`` under every configuration; verify against O3.
 
@@ -159,7 +164,9 @@ def run_kernel_matrix(
     if not any(c.name == O3_CONFIG.name for c in configs):
         configs.insert(0, O3_CONFIG)
     runs = {
-        config.name: run_kernel_config(kernel, config, target, seed, journal=journal)
+        config.name: run_kernel_config(
+            kernel, config, target, seed, journal=journal, engine=engine
+        )
         for config in configs
     }
     oracle = runs[O3_CONFIG.name]

@@ -348,6 +348,10 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.engine:
+        from .interp.engine import set_default_engine
+
+        set_default_engine(args.engine)
     module = _load_module(args.source)
     kernel = _pick_kernel(module, args.kernel)
     config = _resolve_config(args.config)
@@ -367,6 +371,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         inputs=inputs,
         max_steps=args.max_steps,
         session=current_session(),
+        engine=args.engine,
     )
     print(f"config:       {config.name}")
     print(f"cycles:       {result.cycles:.1f}")
@@ -657,6 +662,11 @@ def _default_jobs() -> int:
 def cmd_fuzz(args: argparse.Namespace) -> int:
     from .fuzz import run_campaign, run_injection_campaign, replay_file
 
+    if args.engine:
+        # process-wide so spawned campaign workers inherit the choice
+        from .interp.engine import set_default_engine
+
+        set_default_engine(args.engine)
     target = _resolve_target(args.target)
 
     if args.inject:
@@ -669,6 +679,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             phase_budget_seconds=args.phase_budget,
             progress=lambda line: print(f"; {line}", file=sys.stderr),
             session=current_session(),
+            engine=args.engine,
         )
         print(result.summary())
         if args.stats:
@@ -685,6 +696,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             target=target,
             input_seed=args.input_seed,
             max_ulps=args.max_ulps,
+            engine=args.engine,
         )
         print(f"replay {args.replay}:")
         for outcome in report.outcomes:
@@ -737,6 +749,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             session=current_session(),
             service=service,
             resilience=resilience,
+            engine=args.engine,
         )
     finally:
         if service is not None:
@@ -766,6 +779,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from .bench.runner import speedup_over
     from .kernels.suite import kernel_named
 
+    if args.engine:
+        # process-wide so bench workers / the compile service inherit it
+        from .interp.engine import set_default_engine
+
+        set_default_engine(args.engine)
     target = _resolve_target(args.target)
     kernels = None
     if args.kernel:
@@ -1169,6 +1187,18 @@ def build_parser() -> argparse.ArgumentParser:
             "run-history DB at FILE (see `repro history`)",
         )
 
+    def engine_flag(p: argparse.ArgumentParser) -> None:
+        from .interp.engine import ENGINES
+
+        p.add_argument(
+            "--engine",
+            choices=ENGINES,
+            default=None,
+            help="execution engine: 'scalar' (reference, per-step) or "
+            "'batched' (planned, whole-block; default) — results are "
+            "bit-identical, only throughput differs",
+        )
+
     p_compile = sub.add_parser("compile", help="compile and optionally print IR")
     common(p_compile)
     p_compile.add_argument("--emit-ir", action="store_true", help="print textual IR")
@@ -1216,6 +1246,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="interpreter watchdog: abort after N executed instructions "
         f"(exit code {EXIT_BUDGET})",
     )
+    engine_flag(p_run)
     p_run.set_defaults(fn=cmd_run)
 
     p_compare = sub.add_parser(
@@ -1400,6 +1431,7 @@ def build_parser() -> argparse.ArgumentParser:
         "the service circuit-breaker opens, degrade to local compile "
         "(results stay bit-identical)",
     )
+    engine_flag(p_fuzz)
     metrics_flags(p_fuzz)
     p_fuzz.set_defaults(fn=cmd_fuzz)
 
@@ -1477,6 +1509,7 @@ def build_parser() -> argparse.ArgumentParser:
         "the service circuit-breaker opens, degrade to local compile "
         "(results stay bit-identical)",
     )
+    engine_flag(p_bench)
     metrics_flags(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
 

@@ -47,7 +47,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..interp import BudgetExceededError, TrapError
+from ..interp import BudgetExceededError, TrapError, resolve_engine
 from ..ir.module import Module
 from ..ir.parser import parse_module
 from ..ir.types import FloatType
@@ -190,6 +190,7 @@ def _reduction_predicate(
     target: TargetMachine,
     input_seed: int,
     max_ulps: int,
+    engine: Optional[str] = None,
 ) -> Callable[[Module], bool]:
     """Build the reducer predicate: the candidate must reproduce at least
     one of the original (config, status) failure pairs."""
@@ -203,6 +204,7 @@ def _reduction_predicate(
             configs=configs,
             target=target,
             max_ulps=max_ulps,
+            engine=engine,
         )
         return bool(wanted & set(failure_signature(report)))
 
@@ -238,6 +240,7 @@ def _save_failure(
     input_seed: int,
     max_ulps: int,
     reduce_failures: bool,
+    engine: Optional[str] = None,
 ) -> None:
     directory = os.path.join(out_dir, f"failure-{artifact.index:04d}")
     os.makedirs(directory, exist_ok=True)
@@ -257,6 +260,7 @@ def _save_failure(
             target,
             input_seed,
             max_ulps,
+            engine,
         )
         artifact.reduction = reduce_module(program.module, predicate)
         reproducer = artifact.reduction.module
@@ -284,7 +288,7 @@ CHUNK_SIZE = 8
 
 
 def _campaign_chunk_worker(
-    payload: Tuple[Tuple[int, ...], int, Tuple[str, ...], str, int, int],
+    payload: Tuple[Tuple[int, ...], int, Tuple[str, ...], str, int, int, str],
 ) -> List[Tuple[int, Dict[str, float], bool]]:
     """Run one chunk of campaign indices in a worker process.
 
@@ -297,7 +301,9 @@ def _campaign_chunk_worker(
     from ..machine.targets import target_named
     from ..vectorizer.slp import config_named
 
-    indices, seed, config_names, target_name, input_seed, max_ulps = payload
+    (
+        indices, seed, config_names, target_name, input_seed, max_ulps, engine,
+    ) = payload
     configs = [config_named(name) for name in config_names]
     target = target_named(target_name)
     summaries: List[Tuple[int, Dict[str, float], bool]] = []
@@ -312,6 +318,7 @@ def _campaign_chunk_worker(
                 configs=configs,
                 target=target,
                 max_ulps=max_ulps,
+                engine=engine,
             )
             _bucket(report)
         failed = not report.ok and not report.reference_trapped
@@ -326,6 +333,7 @@ def _rerun_index(
     target: TargetMachine,
     input_seed: int,
     max_ulps: int,
+    engine: Optional[str] = None,
 ) -> Tuple[OracleReport, object]:
     """Regenerate program ``index`` and re-run the oracle (deterministic:
     identical to what the worker saw).  Does NOT bucket — the worker
@@ -338,6 +346,7 @@ def _rerun_index(
         configs=configs,
         target=target,
         max_ulps=max_ulps,
+        engine=engine,
     )
     return report, spec
 
@@ -357,6 +366,7 @@ def run_campaign(
     session: Optional[CompilerSession] = None,
     service=None,
     resilience=None,
+    engine: Optional[str] = None,
 ) -> CampaignResult:
     """Run one fuzzing campaign within ``budget``.
 
@@ -373,6 +383,10 @@ def run_campaign(
     :class:`~repro.serve.resilience.ResilientExecutor`, so the campaign
     completes with identical results even when the service fails mid-run
     (chunks retry, then degrade to local execution).
+
+    ``engine`` picks the execution engine for every oracle check
+    (``scalar`` | ``batched``; ``None`` = process default).  Verdicts,
+    bucket statistics and failure sets are engine-independent.
     """
     kind, amount = parse_budget(budget)
     campaign = session if session is not None else current_session().derive(
@@ -395,6 +409,7 @@ def run_campaign(
             jobs if jobs is not None else 2,
             service=service,
             resilience=resilience,
+            engine=engine,
         )
     failures: List[FailureArtifact] = []
     started = time.perf_counter()
@@ -421,6 +436,7 @@ def run_campaign(
                     configs=configs,
                     target=target,
                     max_ulps=max_ulps,
+                    engine=engine,
                 )
             _bucket(report)
             if not report.ok and not report.reference_trapped:
@@ -435,6 +451,7 @@ def run_campaign(
                         input_seed,
                         max_ulps,
                         reduce_failures,
+                        engine,
                     )
                 if progress is not None:
                     progress(
@@ -481,6 +498,7 @@ def _run_campaign_parallel(
     jobs: int,
     service=None,
     resilience=None,
+    engine: Optional[str] = None,
 ) -> CampaignResult:
     """Sharded count-budget campaign, merged to match the serial run.
 
@@ -499,6 +517,8 @@ def _run_campaign_parallel(
 
     started = time.perf_counter()
     config_names = tuple(config.name for config in configs)
+    # resolve once in the parent: workers must not re-read the env default
+    engine_name = resolve_engine(engine)
     chunks = [
         tuple(range(base, min(base + CHUNK_SIZE, count)))
         for base in range(0, count, CHUNK_SIZE)
@@ -523,7 +543,7 @@ def _run_campaign_parallel(
                     "fuzz-chunk",
                     (
                         chunk, seed, config_names,
-                        target.name, input_seed, max_ulps,
+                        target.name, input_seed, max_ulps, engine_name,
                     ),
                     None,
                     float(len(chunk) * len(config_names)),
@@ -541,7 +561,7 @@ def _run_campaign_parallel(
                     "fuzz-chunk",
                     (
                         chunk, seed, config_names,
-                        target.name, input_seed, max_ulps,
+                        target.name, input_seed, max_ulps, engine_name,
                     ),
                     weight=float(len(chunk) * len(config_names)),
                 )
@@ -576,7 +596,8 @@ def _run_campaign_parallel(
             continue
         with use_session(campaign):
             report, spec = _rerun_index(
-                index, seed, configs, target, input_seed, max_ulps
+                index, seed, configs, target, input_seed, max_ulps,
+                engine_name,
             )
             artifact = FailureArtifact(index=index, report=report)
             failures.append(artifact)
@@ -589,6 +610,7 @@ def _run_campaign_parallel(
                     input_seed,
                     max_ulps,
                     reduce_failures,
+                    engine_name,
                 )
         if progress is not None:
             progress(
@@ -674,6 +696,7 @@ def _compare_guarded(
     inputs: Dict[str, List],
     reference: Dict[str, List],
     max_ulps: int,
+    engine: Optional[str] = None,
 ) -> Optional[str]:
     """Run the guarded module and diff it against the scalar reference;
     returns a human-readable divergence, or None when equivalent."""
@@ -684,6 +707,7 @@ def _compare_guarded(
             target,
             program.args,
             inputs=inputs,
+            engine=engine,
         )
     except Exception as exc:  # noqa: BLE001 - any run failure is an escape
         return f"guarded module failed to run: {type(exc).__name__}: {exc}"
@@ -706,6 +730,7 @@ def _inject_one(
     max_ulps: int,
     phase_budget_seconds: float,
     index: int,
+    engine: Optional[str] = None,
 ) -> InjectionOutcome:
     """Arm one fault, compile through the guarded driver, and classify."""
     from ..robust.guard import guarded_compile
@@ -741,7 +766,7 @@ def _inject_one(
             config_used=guarded.config_used,
         )
     divergence = _compare_guarded(
-        guarded, program, target, inputs, reference, max_ulps
+        guarded, program, target, inputs, reference, max_ulps, engine
     )
     if divergence is None and not guarded.recoveries:
         # Output is fine but the guard never noticed the fault firing —
@@ -771,6 +796,7 @@ def run_injection_campaign(
     phase_budget_seconds: float = 0.2,
     progress: Optional[Callable[[str], None]] = None,
     session: Optional[CompilerSession] = None,
+    engine: Optional[str] = None,
 ) -> InjectionResult:
     """Fault-injection campaign: prove the guarded driver absorbs every
     registered compile-time fault without corrupting results.
@@ -804,7 +830,8 @@ def run_injection_campaign(
             current_faults().disarm_all()  # the reference must run clean
             try:
                 reference = _interpret_reference(
-                    program.module, program.kernel, program.args, inputs
+                    program.module, program.kernel, program.args, inputs,
+                    engine,
                 )
             except (TrapError, BudgetExceededError):
                 _TRAPS.add()
@@ -823,6 +850,7 @@ def run_injection_campaign(
                     max_ulps,
                     phase_budget_seconds,
                     index - 1,
+                    engine,
                 )
             outcomes.append(outcome)
             if progress is not None and outcome.status in ("escaped", "fatal"):
@@ -843,6 +871,7 @@ def replay_file(
     target: TargetMachine = DEFAULT_TARGET,
     input_seed: int = 1,
     max_ulps: int = DEFAULT_MAX_ULPS,
+    engine: Optional[str] = None,
 ) -> OracleReport:
     """Re-run the oracle on a saved ``.ir`` reproducer."""
     with open(path) as handle:
@@ -862,4 +891,5 @@ def replay_file(
         configs=configs,
         target=target,
         max_ulps=max_ulps,
+        engine=engine,
     )

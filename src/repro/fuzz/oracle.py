@@ -40,15 +40,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..interp import (
     BudgetExceededError,
-    Interpreter,
     TrapError,
     UnsupportedOpcodeError,
+    make_interpreter,
 )
 from ..ir.module import Module
 from ..ir.types import FloatType
 from ..ir.verifier import VerificationError
 from ..machine.targets import DEFAULT_TARGET, TargetMachine
-from ..observe.session import current_session
+from ..observe.session import current_session, use_session
 from ..sim import simulate
 from ..vectorizer import ALL_CONFIGS, SLPConfig, compile_module
 from .genprog import FuzzProgram, make_inputs
@@ -158,13 +158,22 @@ def failure_signature(report: OracleReport) -> Tuple[Tuple[str, str], ...]:
 
 
 def _interpret_reference(
-    module: Module, kernel: str, args: Sequence, inputs: Dict[str, List]
+    module: Module,
+    kernel: str,
+    args: Sequence,
+    inputs: Dict[str, List],
+    engine: Optional[str] = None,
 ) -> Dict[str, List]:
-    interp = Interpreter(module)
-    for name, values in inputs.items():
-        interp.write_global(name, values)
-    interp.run(kernel, args)
-    return {name: interp.read_global(name) for name in module.globals}
+    # A throwaway derived session so engine bookkeeping (plan-cache
+    # counters) never lands in the caller's stats — campaign counters must
+    # stay identical between serial and parallel drivers.
+    scratch = current_session().derive(name="oracle-reference")
+    with use_session(scratch):
+        interp = make_interpreter(module, engine)
+        for name, values in inputs.items():
+            interp.write_global(name, values)
+        interp.run(kernel, args)
+        return {name: interp.read_global(name) for name in module.globals}
 
 
 def run_oracle(
@@ -173,15 +182,21 @@ def run_oracle(
     configs: Sequence[SLPConfig] = ALL_CONFIGS,
     target: TargetMachine = DEFAULT_TARGET,
     max_ulps: int = DEFAULT_MAX_ULPS,
+    engine: Optional[str] = None,
 ) -> OracleReport:
-    """Differentially test ``program`` under every configuration."""
+    """Differentially test ``program`` under every configuration.
+
+    ``engine`` selects the execution engine for both the reference
+    interpretation and every per-config simulation (``None`` = process
+    default); verdicts are engine-independent by the identity guarantee.
+    """
     module = program.module
     inputs = make_inputs(module, input_seed)
     report = OracleReport(program=program, input_seed=input_seed)
 
     try:
         reference = _interpret_reference(
-            module, program.kernel, program.args, inputs
+            module, program.kernel, program.args, inputs, engine
         )
     except TrapError as exc:
         # The scalar program itself traps: not a miscompile, just a
@@ -203,7 +218,7 @@ def run_oracle(
     for config in configs:
         report.outcomes.append(
             _check_config(
-                program, config, target, inputs, reference, max_ulps
+                program, config, target, inputs, reference, max_ulps, engine
             )
         )
     return report
@@ -216,6 +231,7 @@ def _check_config(
     inputs: Dict[str, List],
     reference: Dict[str, List],
     max_ulps: int,
+    engine: Optional[str] = None,
 ) -> ConfigOutcome:
     # A private session per configuration check: the outcome carries its
     # own compile + simulation counter snapshot (replay reports print it).
@@ -239,6 +255,7 @@ def _check_config(
             program.args,
             inputs=inputs,
             session=session,
+            engine=engine,
         )
     except UnsupportedOpcodeError as exc:
         return ConfigOutcome(

@@ -1,4 +1,4 @@
-"""Reference interpreter and flat memory model for the repro IR."""
+"""Reference interpreter, planned batched engine and flat memory model."""
 
 from .memory import Memory, MemoryError_
 from .interpreter import (
@@ -8,6 +8,15 @@ from .interpreter import (
     TrapError,
     UnsupportedOpcodeError,
     run_kernel,
+)
+from .plan import BlockPlan, FunctionPlan, plan_function
+from .batched import BatchedInterpreter
+from .engine import (
+    ENGINES,
+    default_engine,
+    make_interpreter,
+    resolve_engine,
+    set_default_engine,
 )
 
 __all__ = [
@@ -19,4 +28,13 @@ __all__ = [
     "TrapError",
     "UnsupportedOpcodeError",
     "run_kernel",
+    "BlockPlan",
+    "FunctionPlan",
+    "plan_function",
+    "BatchedInterpreter",
+    "ENGINES",
+    "default_engine",
+    "make_interpreter",
+    "resolve_engine",
+    "set_default_engine",
 ]

@@ -1,0 +1,51 @@
+"""Engine selection: scalar reference interpreter vs batched planned engine.
+
+The knob is process-wide and carried in the ``REPRO_ENGINE`` environment
+variable so that worker processes spawned by the parallel fuzz/bench
+drivers inherit the parent's choice without any payload plumbing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+ENGINES = ("scalar", "batched")
+
+_ENV_VAR = "REPRO_ENGINE"
+_DEFAULT = "batched"
+
+
+def default_engine() -> str:
+    """The process-wide engine name (``REPRO_ENGINE`` or ``batched``)."""
+    name = os.environ.get(_ENV_VAR, _DEFAULT)
+    return name if name in ENGINES else _DEFAULT
+
+
+def set_default_engine(name: str) -> None:
+    """Set the process-wide engine; inherited by spawned workers."""
+    if name not in ENGINES:
+        raise ValueError(f"unknown engine {name!r}; expected one of {ENGINES}")
+    os.environ[_ENV_VAR] = name
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Resolve an explicit engine name (or None for the default)."""
+    if engine is None:
+        return default_engine()
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    return engine
+
+
+def make_interpreter(module, engine: Optional[str] = None, **kwargs):
+    """Build an interpreter for ``module`` on the resolved engine."""
+    name = resolve_engine(engine)
+    if name == "scalar":
+        from .interpreter import Interpreter
+
+        kwargs.pop("cost_model", None)
+        return Interpreter(module, **kwargs)
+    from .batched import BatchedInterpreter
+
+    return BatchedInterpreter(module, **kwargs)

@@ -14,6 +14,7 @@ duplicating the execution logic.
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..ir.block import BasicBlock
@@ -97,16 +98,24 @@ class Interpreter:
         self,
         module: Module,
         memory: Optional[Memory] = None,
-        instruction_budget: int = 50_000_000,
-        on_execute: Optional[Callable[[Instruction], None]] = None,
         max_steps: Optional[int] = None,
+        on_execute: Optional[Callable[[Instruction], None]] = None,
+        instruction_budget: Optional[int] = None,
     ) -> None:
+        if instruction_budget is not None:
+            warnings.warn(
+                "instruction_budget is deprecated; use max_steps",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if max_steps is None:
+                max_steps = instruction_budget
         self.module = module
         self.memory = memory if memory is not None else Memory()
-        #: ``max_steps`` is the watchdog knob; ``instruction_budget`` is
-        #: the historical name for the same limit and acts as the default
+        #: ``max_steps`` is the single watchdog knob; the attribute keeps
+        #: its historical name for the fault-injection stall hook
         self.instruction_budget = (
-            max_steps if max_steps is not None else instruction_budget
+            max_steps if max_steps is not None else 50_000_000
         )
         self.on_execute = on_execute
         self.executed_instructions = 0

@@ -112,15 +112,164 @@ class Memory:
             return
         self.store_scalar(addr, type_, value)
 
+    # -- packed accessor factories (planned engine) ----------------------------------
+    #
+    # The batched engine binds one closure per load/store site at plan-bind
+    # time.  Each closure captures the pre-compiled ``struct.Struct`` and
+    # the raw buffer, so the per-access work is one bounds compare plus one
+    # bulk (un)pack — vectors move all lanes in a single struct call.  Any
+    # failure (out of bounds, unpackable value) replays the element-wise
+    # reference path, which raises the exact reference exception after the
+    # exact partial-store prefix.
+
+    def scalar_loader(self, type_: Type):
+        """A ``load(addr) -> value`` closure for one scalar type."""
+        size = _scalar_size(type_)
+        unpack_from = struct.Struct(_scalar_code(type_)).unpack_from
+        data = self._data
+        limit = len(data)
+        if isinstance(type_, IntType) and type_.bits < 8:
+            wrap = type_.wrap
+
+            def load(addr):
+                if addr <= 0 or addr + size > limit:
+                    raise MemoryError_(
+                        f"access of {size} bytes at {addr} out of bounds"
+                    )
+                return wrap(unpack_from(data, addr)[0])
+
+            return load
+
+        # i8..i64 round-trip exactly through their signed struct codes, so
+        # the reference path's wrap() is the identity and can be skipped.
+        def load(addr):
+            if addr <= 0 or addr + size > limit:
+                raise MemoryError_(
+                    f"access of {size} bytes at {addr} out of bounds"
+                )
+            return unpack_from(data, addr)[0]
+
+        return load
+
+    def scalar_storer(self, type_: Type):
+        """A ``store(addr, value)`` closure for one scalar type."""
+        size = _scalar_size(type_)
+        pack_into = struct.Struct(_scalar_code(type_)).pack_into
+        data = self._data
+        limit = len(data)
+        if isinstance(type_, IntType):
+            wrap = type_.wrap
+
+            def store(addr, value):
+                if addr <= 0 or addr + size > limit:
+                    raise MemoryError_(
+                        f"access of {size} bytes at {addr} out of bounds"
+                    )
+                pack_into(data, addr, wrap(int(value)))
+
+            return store
+
+        def store(addr, value):
+            if addr <= 0 or addr + size > limit:
+                raise MemoryError_(
+                    f"access of {size} bytes at {addr} out of bounds"
+                )
+            pack_into(data, addr, value)
+
+        return store
+
+    def vector_loader(self, vec_type: VectorType):
+        """A whole-vector ``load(addr) -> tuple`` closure (one bulk unpack)."""
+        element = vec_type.element
+        count = vec_type.count
+        total = _scalar_size(element) * count
+        unpack_from = struct.Struct(f"{count}{_scalar_code(element)}").unpack_from
+        data = self._data
+        limit = len(data)
+        if isinstance(element, IntType) and element.bits < 8:
+            wrap = element.wrap
+
+            def load(addr):
+                if addr <= 0 or addr + total > limit:
+                    # element-wise replay raises the reference error
+                    return self.load_value(addr, vec_type)
+                return tuple(wrap(raw) for raw in unpack_from(data, addr))
+
+            return load
+
+        def load(addr):
+            if addr <= 0 or addr + total > limit:
+                return self.load_value(addr, vec_type)
+            return unpack_from(data, addr)
+
+        return load
+
+    def vector_storer(self, vec_type: VectorType):
+        """A whole-vector ``store(addr, values)`` closure (one bulk pack)."""
+        element = vec_type.element
+        count = vec_type.count
+        total = _scalar_size(element) * count
+        pack_into = struct.Struct(f"{count}{_scalar_code(element)}").pack_into
+        data = self._data
+        limit = len(data)
+        if isinstance(element, IntType):
+            wrap = element.wrap
+
+            def store(addr, values):
+                if addr <= 0 or addr + total > limit:
+                    self.store_value(addr, vec_type, values)
+                    return
+                try:
+                    pack_into(data, addr, *[wrap(int(v)) for v in values])
+                except Exception:
+                    # replay element-wise: identical partial-store prefix,
+                    # identical per-element exception
+                    self.store_value(addr, vec_type, values)
+
+            return store
+
+        def store(addr, values):
+            if addr <= 0 or addr + total > limit:
+                self.store_value(addr, vec_type, values)
+                return
+            try:
+                pack_into(data, addr, *values)
+            except Exception:
+                self.store_value(addr, vec_type, values)
+
+        return store
+
     # -- array helpers (test/workload convenience) ----------------------------------
 
     def write_array(self, addr: int, element: Type, values: Sequence) -> None:
+        count = len(values)
         stride = _scalar_size(element)
+        if count and 0 < addr and addr + stride * count <= len(self._data):
+            try:
+                if isinstance(element, IntType):
+                    wrap = element.wrap
+                    packed = [wrap(int(v)) for v in values]
+                else:
+                    packed = values
+                struct.pack_into(
+                    f"{count}{_scalar_code(element)}", self._data, addr, *packed
+                )
+                return
+            except Exception:
+                pass  # element-wise replay raises the reference error
         for i, value in enumerate(values):
             self.store_scalar(addr + i * stride, element, value)
 
     def read_array(self, addr: int, element: Type, count: int) -> List:
         stride = _scalar_size(element)
+        if count and 0 < addr <= addr + stride * count <= len(self._data):
+            raw = struct.unpack_from(
+                f"{count}{_scalar_code(element)}", self._data, addr
+            )
+            if isinstance(element, IntType) and element.bits < 8:
+                wrap = element.wrap
+                return [wrap(v) for v in raw]
+            return list(raw)
         return [self.load_scalar(addr + i * stride, element) for i in range(count)]
 
     def write_global(self, name: str, values: Sequence) -> None:

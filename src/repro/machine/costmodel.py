@@ -21,7 +21,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Sequence, Tuple
 
-from ..ir.instructions import Opcode
+from ..ir.instructions import (
+    AltBinaryInst,
+    CallInst,
+    ExtractElementInst,
+    InsertElementInst,
+    Instruction,
+    Opcode,
+    ShuffleVectorInst,
+)
 from ..ir.types import FloatType, Type, VectorType
 from .isa import VectorISA
 
@@ -155,3 +163,29 @@ class CostModel:
     def scalarized_cost(self, opcode: Opcode, type_: Type, lanes: int) -> float:
         """Cost of ``lanes`` copies of the scalar op."""
         return self.scalar_op_cost(opcode, type_) * lanes
+
+
+def instruction_cost(model: CostModel, inst: Instruction) -> float:
+    """The cycle charge of one executed instruction under ``model``.
+
+    The single shared ladder behind both the cycle simulator's
+    :class:`~repro.sim.executor.CycleCounter` and the planned engine's
+    pre-bound per-trace charges — one table, one interpretation.
+    """
+    if isinstance(inst, AltBinaryInst):
+        return model.altbinop_cost(inst.lane_opcodes, inst.type)
+    if isinstance(inst, InsertElementInst):
+        return model.insert_cost
+    if isinstance(inst, ExtractElementInst):
+        return model.extract_cost
+    if isinstance(inst, ShuffleVectorInst):
+        return model.shuffle_cost
+    if isinstance(inst, CallInst):
+        return model.intrinsic_cost(inst.callee, inst.type)
+    result_type = inst.type
+    # For stores the relevant width is the stored value's type.
+    if inst.opcode is Opcode.STORE:
+        result_type = inst.operand(0).type
+    if isinstance(result_type, VectorType):
+        return model.vector_op_cost(inst.opcode, result_type)
+    return model.scalar_op_cost(inst.opcode, result_type)

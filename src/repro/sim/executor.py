@@ -1,31 +1,32 @@
 """Cycle-accounting execution: the repro's stand-in for a real CPU.
 
-Runs a function on the reference interpreter while charging every executed
-instruction its cost from the target's :class:`~repro.machine.costmodel.
-CostModel`.  The resulting cycle totals play the role of the paper's
-wall-clock kernel timings: comparing the same kernel compiled under the
-O3 / LSLP / SN-SLP configurations on the same simulated machine gives the
-normalized speedups of Figures 5 and 8.
+Runs a function while charging every executed instruction its cost from
+the target's :class:`~repro.machine.costmodel.CostModel`.  The resulting
+cycle totals play the role of the paper's wall-clock kernel timings:
+comparing the same kernel compiled under the O3 / LSLP / SN-SLP
+configurations on the same simulated machine gives the normalized
+speedups of Figures 5 and 8.
+
+Two engines share these semantics bit-for-bit (see
+:mod:`repro.interp.engine`): the ``scalar`` reference interpreter charged
+through a per-step :class:`CycleCounter` hook, and the ``batched`` planned
+engine (:mod:`repro.interp.batched`) that accounts whole pre-decoded block
+traces at a time.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
+from ..interp.batched import BatchedInterpreter
+from ..interp.engine import resolve_engine
 from ..interp.interpreter import Interpreter
 from ..interp.memory import Memory
-from ..ir.instructions import (
-    AltBinaryInst,
-    CallInst,
-    ExtractElementInst,
-    InsertElementInst,
-    Instruction,
-    Opcode,
-    ShuffleVectorInst,
-)
+from ..ir.instructions import Instruction, Opcode
 from ..ir.module import Module
-from ..ir.types import VectorType
+from ..machine.costmodel import instruction_cost
 from ..machine.targets import TargetMachine
 from ..observe.session import CompilerSession, current_session, use_session
 
@@ -46,24 +47,7 @@ class CycleCounter:
         self.per_opcode[inst.opcode] = self.per_opcode.get(inst.opcode, 0.0) + cost
 
     def _cost_of(self, inst: Instruction) -> float:
-        model = self.target.cost_model
-        if isinstance(inst, AltBinaryInst):
-            return model.altbinop_cost(inst.lane_opcodes, inst.type)
-        if isinstance(inst, InsertElementInst):
-            return model.insert_cost
-        if isinstance(inst, ExtractElementInst):
-            return model.extract_cost
-        if isinstance(inst, ShuffleVectorInst):
-            return model.shuffle_cost
-        if isinstance(inst, CallInst):
-            return model.intrinsic_cost(inst.callee, inst.type)
-        result_type = inst.type
-        # For stores the relevant width is the stored value's type.
-        if inst.opcode is Opcode.STORE:
-            result_type = inst.operand(0).type
-        if isinstance(result_type, VectorType):
-            return model.vector_op_cost(inst.opcode, result_type)
-        return model.scalar_op_cost(inst.opcode, result_type)
+        return instruction_cost(self.target.cost_model, inst)
 
 
 @dataclass
@@ -93,6 +77,7 @@ def simulate(
     memory_size: int = 1 << 20,
     max_steps: Optional[int] = None,
     session: Optional[CompilerSession] = None,
+    engine: Optional[str] = None,
 ) -> SimulationResult:
     """Execute ``function_name`` and account cycles on ``target``.
 
@@ -102,6 +87,11 @@ def simulate(
     raises :class:`~repro.interp.interpreter.BudgetExceededError` instead
     of letting a malformed loop hang the harness.
 
+    ``engine`` picks the execution engine (``scalar`` | ``batched``);
+    ``None`` uses the process default (see :mod:`repro.interp.engine`).
+    Cycle totals, per-opcode charges and globals are bit-identical across
+    engines — the choice is purely a throughput knob.
+
     ``sim.*`` counters land in ``session`` when given, else in an
     ephemeral child of the ambient session (the result object itself
     carries cycles/instructions, so nothing is lost by discarding it).
@@ -109,39 +99,60 @@ def simulate(
     own = session if session is not None else current_session().derive(
         name=f"simulate:{function_name}"
     )
-    counter = CycleCounter(target)
-    interp = Interpreter(
-        module,
-        memory=Memory(memory_size),
-        on_execute=counter.charge,
-        max_steps=max_steps,
-    )
+    engine_name = resolve_engine(engine)
+    if engine_name == "batched":
+        counter = None
+        interp = BatchedInterpreter(
+            module,
+            memory=Memory(memory_size),
+            max_steps=max_steps,
+            cost_model=target.cost_model,
+        )
+    else:
+        counter = CycleCounter(target)
+        interp = Interpreter(
+            module,
+            memory=Memory(memory_size),
+            on_execute=counter.charge,
+            max_steps=max_steps,
+        )
     if inputs:
         for name, values in inputs.items():
             interp.write_global(name, values)
+    accounting = counter if counter is not None else interp
     with use_session(own):
         with own.tracer.span(
             "simulate", function=function_name, target=target.name
         ):
+            started = time.perf_counter()
             result = interp.run(function_name, args)
-        own.stats.stat("sim.cycles", "Total simulated cycles").add(counter.cycles)
-        own.stats.stat("sim.instructions", "Simulated instructions executed").add(
-            counter.instructions
+            elapsed = time.perf_counter() - started
+        own.stats.stat("sim.cycles", "Total simulated cycles").add(
+            accounting.cycles
         )
-        for opcode, cycles in counter.per_opcode.items():
+        own.stats.stat("sim.instructions", "Simulated instructions executed").add(
+            accounting.instructions
+        )
+        for opcode, cycles in accounting.per_opcode.items():
             own.stats.stat(
                 f"sim.cycles.{opcode.name.lower()}",
                 "Simulated cycles charged to this opcode",
             ).add(cycles)
+        if own.metrics.enabled and elapsed > 0:
+            own.metrics.gauge(
+                "sim.instructions_per_sec",
+                accounting.instructions / elapsed,
+                "Interpreted instructions per wall-clock second",
+            )
     globals_after = (
         {name: interp.read_global(name) for name in module.globals}
         if capture_globals
         else {}
     )
     return SimulationResult(
-        cycles=counter.cycles,
-        instructions=counter.instructions,
-        per_opcode=dict(counter.per_opcode),
+        cycles=accounting.cycles,
+        instructions=accounting.instructions,
+        per_opcode=dict(accounting.per_opcode),
         return_value=result,
         globals_after=globals_after,
     )

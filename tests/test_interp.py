@@ -204,7 +204,15 @@ class TestControlFlow:
 
     def test_instruction_budget(self):
         module = build_loop_module()
-        interp = Interpreter(module, instruction_budget=50)
+        interp = Interpreter(module, max_steps=50)
+        with pytest.raises(InterpreterError, match="budget"):
+            interp.run("count", [10**9])
+
+    def test_instruction_budget_alias_warns(self):
+        module = build_loop_module()
+        with pytest.warns(DeprecationWarning, match="max_steps"):
+            interp = Interpreter(module, instruction_budget=50)
+        assert interp.instruction_budget == 50
         with pytest.raises(InterpreterError, match="budget"):
             interp.run("count", [10**9])
 
