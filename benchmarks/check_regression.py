@@ -109,6 +109,10 @@ def emit_bench(
                 start = time.perf_counter()
                 run_suite_parallel(jobs=2, service=service)
                 warm_walls.append(time.perf_counter() - start)
+            # per-request latency percentiles over everything the warm
+            # service handled (prime + warm passes), from the same
+            # recent-window deques the wire `stats` op reports
+            latency = service.describe()
     warm_seconds = sum(warm_walls) / len(warm_walls)
     service_stats = service_session.stats.snapshot()
     pairs_per_pass = sum(len(matrix) for matrix in results.values())
@@ -168,6 +172,8 @@ def emit_bench(
             "task_cache_hits": service_stats.get("serve.task_cache.hits", 0),
             "task_cache_misses": service_stats.get("serve.task_cache.misses", 0),
             "cross_worker_hits": service_stats.get("cache.cross_worker_hits", 0),
+            "queue_seconds": latency["queue_seconds"],
+            "turnaround_seconds": latency["turnaround_seconds"],
         },
         "compile_seconds": {
             "count": len(compile_samples),
@@ -225,6 +231,8 @@ def emit_bench(
                 "parallel.overhead_seconds", 0.0
             ),
             "serve.compiles_per_sec": compiles_per_sec,
+            "serve.queue_seconds.p99": latency["queue_seconds"]["p99"],
+            "serve.turnaround_seconds.p99": latency["turnaround_seconds"]["p99"],
         }
         with RunHistory(str(history_db)) as history:
             run_id = history.record(

@@ -104,15 +104,22 @@ def _run_pair(payload: PairPayload) -> Tuple[KernelRun, WorkerCapture]:
     if metrics:
         session.metrics.enable()
     start = time.perf_counter()
+    # Inside a traced service task, the worker loop installed the
+    # request's ambient context; binding this fresh session's tracer to
+    # it parents the pair's compile/phase spans under the request's
+    # ``worker:task`` span instead of leaving them unlinked.
+    from ..observe.context import current_trace_context
+
     with use_session(session):
-        run = run_kernel_config(
-            kernel,
-            config_named(config_name),
-            target_named(target_name),
-            seed,
-            session=session.derive(),
-            journal=journal,
-        )
+        with session.tracer.bind(current_trace_context()):
+            run = run_kernel_config(
+                kernel,
+                config_named(config_name),
+                target_named(target_name),
+                seed,
+                session=session.derive(),
+                journal=journal,
+            )
     capture: WorkerCapture = {
         "pid": os.getpid(),
         "worker_seconds": time.perf_counter() - start,
@@ -136,8 +143,10 @@ def _merge_capture(parent: CompilerSession, capture: WorkerCapture) -> None:
     regardless of completion order.
     """
     pid = int(capture["pid"])
+    generation = int(capture.get("generation", 0))
     for event in capture.get("events", ()):
         event.pid = pid
+        event.generation = generation
         parent.tracer.events.append(event)
     for remark in capture.get("remarks", ()):
         remark.args.setdefault("worker_pid", pid)

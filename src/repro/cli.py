@@ -18,6 +18,9 @@ IR, executing on the simulator and comparing configurations::
     python -m repro profile motiv-leaf-reorder --folded profile.folded
     python -m repro bench --json --history-db history.db > RESULTS.json
     python -m repro history --db history.db --check
+    python -m repro serve --socket /tmp/repro.sock --slow-log 0.5
+    python -m repro top --socket /tmp/repro.sock --count 5
+    python -m repro waterfall trace.json --slow 0.1
 
 ``compile`` prints the (vectorized) IR — with ``--guard`` it goes
 through the fault-isolating driver that degrades instead of crashing;
@@ -106,6 +109,8 @@ def _configure_observability(args: argparse.Namespace, session: CompilerSession)
         session.journal.enable()
     if getattr(args, "metrics_out", None) or getattr(args, "history_db", None):
         session.metrics.enable()
+    if getattr(args, "log", None):
+        session.log.enable(level=getattr(args, "log_level", None) or "info")
 
 
 def _flush_observability(args: argparse.Namespace, session: CompilerSession) -> None:
@@ -134,6 +139,12 @@ def _flush_observability(args: argparse.Namespace, session: CompilerSession) -> 
             f"{args.journal}",
             file=sys.stderr,
         )
+    if getattr(args, "log", None):
+        session.log.write_jsonl(args.log)
+        print(
+            f"; wrote {len(session.log.events)} log event(s) to {args.log}",
+            file=sys.stderr,
+        )
     if getattr(args, "metrics_out", None):
         session.metrics.write_exposition(args.metrics_out, session.stats)
         print(
@@ -155,7 +166,7 @@ _HISTORY_CONFIG_EXCLUDE = frozenset(
         "fn", "_stats_printed", "history_db", "metrics_out", "trace_out",
         "remarks", "journal", "out", "output", "stats", "verbose", "json",
         "folded", "dot", "dot_worst", "emit_ir", "show", "cache_dir",
-        "socket",
+        "socket", "log", "log_level", "slow_log_out",
     }
 )
 
@@ -1044,6 +1055,8 @@ def cmd_bisect(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
     from .serve.service import CompileService
     from .serve.wire import SocketServer, serve_stream
 
@@ -1053,6 +1066,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_entries=args.cache_entries,
         max_pending=args.max_pending,
         default_timeout=args.request_timeout,
+        slow_log_seconds=args.slow_log,
         session=current_session(),
         name="serve",
     )
@@ -1075,13 +1089,184 @@ def cmd_serve(args: argparse.Namespace) -> int:
             )
     finally:
         snapshot = service.describe()
+        slow = list(service.slow_records)
         service.close(drain=True)
+        if args.slow_log_out:
+            with open(args.slow_log_out, "w", encoding="utf-8") as handle:
+                for record in slow:
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+            print(
+                f"; wrote {len(slow)} slow-request record(s) to "
+                f"{args.slow_log_out}",
+                file=sys.stderr,
+            )
         print(
             f"; served {int(snapshot['counters'].get('serve.tasks', 0))} "
             f"task(s) at {snapshot['compiles_per_sec']:.2f} compiles/sec "
             f"({snapshot['respawns']} respawn(s))",
             file=sys.stderr,
         )
+    return EXIT_OK
+
+
+def _render_stats_dashboard(doc: Dict) -> str:
+    """The ``repro top`` screen: one service snapshot as a text dashboard."""
+    queue = doc.get("queue_seconds") or {}
+    turnaround = doc.get("turnaround_seconds") or {}
+    counters = doc.get("counters") or {}
+    breaker = doc.get("breaker") or "closed"
+    lines = [
+        f"{doc.get('name', 'service')}: up {doc.get('uptime_seconds', 0.0):.1f}s  "
+        f"{doc.get('compiles_per_sec', 0.0):.2f} compiles/sec  "
+        f"breaker {breaker}  "
+        f"{doc.get('respawns', 0)} respawn(s)  "
+        f"{doc.get('slow_requests', 0)} slow",
+        f"  queue: {doc.get('pending', 0)} pending, "
+        f"{doc.get('inflight', 0)} inflight; "
+        f"wait p50 {queue.get('p50', 0.0) * 1e3:.1f}ms "
+        f"p99 {queue.get('p99', 0.0) * 1e3:.1f}ms; "
+        f"turnaround p50 {turnaround.get('p50', 0.0) * 1e3:.1f}ms "
+        f"p99 {turnaround.get('p99', 0.0) * 1e3:.1f}ms",
+        f"  tasks: {int(counters.get('serve.tasks', 0))} done, "
+        f"{int(counters.get('serve.errors', 0))} error(s), "
+        f"{int(counters.get('serve.requeued', 0))} requeued; "
+        f"task-cache hit rate {doc.get('cache_hit_rate', 0.0) * 100:.1f}%",
+        f"  {'worker':>6s} {'pid':>7s} {'gen':>3s} {'alive':>5s} "
+        f"{'inflight':>8s} {'sent':>6s} {'util%':>6s}",
+    ]
+    for worker in doc.get("workers", []):
+        lines.append(
+            f"  {worker.get('index', 0):6d} {worker.get('pid', 0):7d} "
+            f"{worker.get('generation', 0):3d} "
+            f"{str(bool(worker.get('alive'))):>5s} "
+            f"{worker.get('inflight', 0):8d} "
+            f"{worker.get('tasks_sent', 0):6d} "
+            f"{worker.get('utilization', 0.0) * 100:6.1f}"
+        )
+    return "\n".join(lines)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .serve.wire import ServiceClient
+
+    try:
+        client = ServiceClient(args.socket)
+    except (ConnectionError, OSError) as exc:
+        _usage(f"cannot reach service at {args.socket}: {exc}")
+    try:
+        for iteration in range(max(1, args.count)):
+            if iteration:
+                time.sleep(args.interval)
+            response = client.request({"kind": "stats"})
+            if not response.get("ok"):
+                error = response.get("error") or {}
+                print(
+                    f"repro: top: {error.get('type', 'error')}: "
+                    f"{error.get('message', response)}",
+                    file=sys.stderr,
+                )
+                return EXIT_CRASH
+            doc = response["result"]
+            if args.json:
+                print(json.dumps(doc, sort_keys=True), flush=True)
+            else:
+                print(_render_stats_dashboard(doc), flush=True)
+    except (ConnectionError, OSError) as exc:
+        print(f"repro: top: connection lost: {exc}", file=sys.stderr)
+        return EXIT_CRASH
+    finally:
+        client.close()
+    return EXIT_OK
+
+
+def _trace_waterfalls(events, limit: int, slow: float) -> List[Dict]:
+    """Per-request latency breakdowns from a Chrome trace's span tree.
+
+    Groups spans by trace id, anchors each group at its earliest start,
+    and orders requests slowest-first so ``--limit`` keeps the
+    interesting tail."""
+    by_trace: Dict[str, List] = {}
+    for event in events:
+        if event.trace_id:
+            by_trace.setdefault(event.trace_id, []).append(event)
+    requests = []
+    for trace_id, spans in by_trace.items():
+        base = min(span.start_ns for span in spans)
+        total = max(span.end_ns for span in spans) - base
+        if total / 1e9 < slow:
+            continue
+        rows = [
+            {
+                "name": span.name,
+                "offset_ms": round((span.start_ns - base) / 1e6, 3),
+                "duration_ms": round(span.duration_ns / 1e6, 3),
+                "pid": span.pid,
+                "generation": span.generation,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "args": {
+                    key: value
+                    for key, value in span.args.items()
+                    if isinstance(value, (str, int, float, bool))
+                },
+            }
+            for span in sorted(
+                spans, key=lambda s: (s.start_ns, -s.duration_ns)
+            )
+        ]
+        requests.append(
+            {
+                "trace_id": trace_id,
+                "total_ms": round(total / 1e6, 3),
+                "spans": rows,
+            }
+        )
+    requests.sort(key=lambda r: (-r["total_ms"], r["trace_id"]))
+    return requests[:limit] if limit else requests
+
+
+def cmd_waterfall(args: argparse.Namespace) -> int:
+    import json
+
+    from .observe.trace import load_chrome_trace
+
+    try:
+        events = load_chrome_trace(args.trace)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        _usage(f"cannot load trace {args.trace}: {exc}")
+    requests = _trace_waterfalls(events, args.limit, args.slow)
+    if args.json:
+        print(json.dumps({"requests": requests}, indent=2, sort_keys=True))
+        return EXIT_OK
+    if not requests:
+        print(
+            "; no traced requests above "
+            f"{args.slow:.3f}s in {args.trace}",
+            file=sys.stderr,
+        )
+        return EXIT_OK
+    width = 32
+    for request in requests:
+        total = max(request["total_ms"], 1e-9)
+        print(f"trace {request['trace_id']}  total {total:.3f} ms")
+        for span in request["spans"]:
+            start = int(width * span["offset_ms"] / total)
+            length = max(1, int(width * span["duration_ms"] / total))
+            bar = " " * min(start, width - 1) + "#" * min(length, width - start)
+            where = (
+                f"pid{span['pid']}"
+                + (f".g{span['generation']}" if span["generation"] else "")
+                if span["pid"]
+                else "client"
+            )
+            print(
+                f"  [{bar:<{width}s}] {span['duration_ms']:9.3f} ms  "
+                f"{span['name']}  ({where})"
+            )
+        print()
     return EXIT_OK
 
 
@@ -1185,6 +1370,19 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="FILE",
             help="append this run's headline metrics to the sqlite "
             "run-history DB at FILE (see `repro history`)",
+        )
+        p.add_argument(
+            "--log",
+            metavar="FILE",
+            help="write the structured event log (service lifecycle, "
+            "retries, degradations, chaos runs) as JSONL to FILE",
+        )
+        p.add_argument(
+            "--log-level",
+            choices=("debug", "info", "warn", "error"),
+            default=None,
+            metavar="LEVEL",
+            help="event-log severity threshold for --log (default: info)",
         )
 
     def engine_flag(p: argparse.ArgumentParser) -> None:
@@ -1559,8 +1757,85 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="serve on an AF_UNIX socket at PATH instead of stdin/stdout",
     )
+    p_serve.add_argument(
+        "--slow-log",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="record a structured latency breakdown (queue/marshal/"
+        "compile/overhead) for every request slower than SECONDS",
+    )
+    p_serve.add_argument(
+        "--slow-log-out",
+        metavar="FILE",
+        help="write the --slow-log records as JSONL to FILE on shutdown",
+    )
     metrics_flags(p_serve)
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live service dashboard: poll a `repro serve --socket` "
+        "instance's stats op (queue depth, per-worker utilization, "
+        "cache hit rate, p50/p99 latency, breaker state)",
+    )
+    p_top.add_argument(
+        "--socket",
+        required=True,
+        metavar="PATH",
+        help="AF_UNIX socket of the running service",
+    )
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between polls (default: 2)",
+    )
+    p_top.add_argument(
+        "--count",
+        type=int,
+        default=1,
+        metavar="N",
+        help="snapshots to print before exiting (default: 1; use a "
+        "large N for a watch-style loop)",
+    )
+    p_top.add_argument(
+        "--json",
+        action="store_true",
+        help="print each snapshot as one JSON line instead of the table",
+    )
+    p_top.set_defaults(fn=cmd_top)
+
+    p_waterfall = sub.add_parser(
+        "waterfall",
+        help="per-request latency waterfalls from a --trace-out Chrome "
+        "trace: queue/dispatch/compile segments per traced request",
+    )
+    p_waterfall.add_argument(
+        "trace",
+        help="Chrome trace-event JSON file written by --trace-out",
+    )
+    p_waterfall.add_argument(
+        "--slow",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="only show requests whose end-to-end time exceeds SECONDS",
+    )
+    p_waterfall.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        metavar="N",
+        help="show the N slowest requests (default: 10; 0 = all)",
+    )
+    p_waterfall.add_argument(
+        "--json",
+        action="store_true",
+        help="print the breakdowns as a structured JSON document",
+    )
+    p_waterfall.set_defaults(fn=cmd_waterfall)
 
     p_chaos = sub.add_parser(
         "chaos",

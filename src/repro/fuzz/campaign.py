@@ -529,6 +529,11 @@ def _run_campaign_parallel(
             workers=jobs, session=campaign, name="fuzz-pool"
         )
         service.start()
+    campaign.log.emit(
+        "info", "fuzz-dispatch", "sharded fuzz campaign dispatched",
+        chunks=len(chunks), programs=count, jobs=jobs,
+        resilient=resilience is not None, owns_service=owns_service,
+    )
     summaries: List[Tuple[int, Dict[str, float], bool]] = []
     try:
         if resilience is not None:
@@ -570,7 +575,12 @@ def _run_campaign_parallel(
             failure_count = 0
             for future in futures:
                 if failure_count >= max_failures:
-                    service.cancel(future)
+                    if service.cancel(future):
+                        campaign.log.emit(
+                            "info", "fuzz-cancel",
+                            "chunk cancelled after failure budget",
+                            failures=failure_count,
+                        )
                     continue
                 summaries.extend(future.result())
                 # Replay the serial stop condition over what we have so

@@ -15,6 +15,11 @@ The LLVM-style introspection triple for this Python compiler:
 * :mod:`repro.observe.metrics` — session-scoped gauges, timers and
   fixed-bucket histograms with Prometheus text exposition
   (``--metrics-out``);
+* :mod:`repro.observe.context` — request-scoped :class:`TraceContext`
+  (trace id, parent span id, attempt) carried through service envelopes
+  so worker spans parent into one cross-process tree per request;
+* :mod:`repro.observe.log`     — leveled structured JSONL event log for
+  service/ops paths (crashes, retries, degradations), trace-correlated;
 * :mod:`repro.observe.profile` — self-time attribution and folded
   flamegraph export over recorded tracer spans (``repro profile``);
 * :mod:`repro.observe.history` — the sqlite run-history store with
@@ -42,7 +47,15 @@ aliases of the *default* session's components (see
 :mod:`repro.observe.session`).
 """
 
-from .trace import TraceEvent, Tracer
+from .context import (
+    TraceContext,
+    current_trace_context,
+    mint_context,
+    new_span_id,
+    use_trace_context,
+    validate_span_tree,
+)
+from .trace import TraceEvent, Tracer, load_chrome_trace
 from .stats import STAT, STAT_CATALOG, StatProxy, Statistic, StatsRegistry
 from .metrics import Histogram, MetricsRegistry, exact_percentile
 from .remarks import REMARK_KINDS, Remark, RemarkCollector, load_remarks
@@ -53,6 +66,7 @@ from .journal import (
     load_journal,
     summarize_journal,
 )
+from .log import LOG_LEVELS, EventLog, LogEvent, load_event_log
 from .session import (
     DEFAULT_SESSION,
     REMARKS,
@@ -60,6 +74,7 @@ from .session import (
     TRACER,
     CompilerSession,
     current_journal,
+    current_log,
     current_metrics,
     current_remarks,
     current_session,
@@ -72,6 +87,13 @@ __all__ = [
     "TRACER",
     "Tracer",
     "TraceEvent",
+    "TraceContext",
+    "mint_context",
+    "new_span_id",
+    "current_trace_context",
+    "use_trace_context",
+    "validate_span_tree",
+    "load_chrome_trace",
     "STAT",
     "STAT_CATALOG",
     "STATS",
@@ -91,6 +113,10 @@ __all__ = [
     "JournalEvent",
     "load_journal",
     "summarize_journal",
+    "LOG_LEVELS",
+    "EventLog",
+    "LogEvent",
+    "load_event_log",
     "CompilerSession",
     "DEFAULT_SESSION",
     "current_session",
@@ -99,5 +125,6 @@ __all__ = [
     "current_remarks",
     "current_journal",
     "current_metrics",
+    "current_log",
     "use_session",
 ]

@@ -1,0 +1,172 @@
+"""Leveled structured event log — JSONL service/ops telemetry.
+
+Counters, remarks and the decision journal describe the *compiler*; this
+stream describes the *service*: worker crashes and respawns, requeues,
+wedge kills, retries and degradation-ladder descents, breaker trips,
+slow requests, chaos-run classifications.  Those paths used to narrate
+through ad-hoc stderr prints and progress callbacks; the event log gives
+them one structured, machine-readable channel (``repro serve --log``,
+``repro bench --log`` …) that a later aggregation step can actually
+consume.
+
+Each :class:`LogEvent` carries a severity level (``debug`` < ``info`` <
+``warn`` < ``error``), a short machine-matchable ``event`` name, a human
+message, free-form args, a wall-clock timestamp, and — the point of this
+PR — the ``trace_id`` of the request it belongs to, so ``grep trace_id
+service.log`` reconstructs one request's whole story across retries and
+ladder rungs.
+
+The cost contract matches the journal and tracer exactly:
+:meth:`EventLog.emit` is a single branch while disabled, so logging-off
+runs are bit-identical to a build without the instrumentation.  Events
+below the configured threshold level are dropped at emit time.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .stats import STAT
+
+STAT_LOG_EVENTS = STAT("log.events-recorded", "structured log events recorded")
+
+#: severity ladder, least to most severe
+LOG_LEVELS = ("debug", "info", "warn", "error")
+
+_LEVEL_RANK = {name: rank for rank, name in enumerate(LOG_LEVELS)}
+
+
+@dataclass
+class LogEvent:
+    """One structured log record."""
+
+    level: str  # one of LOG_LEVELS
+    event: str  # short machine-matchable name, e.g. "worker-crash"
+    message: str
+    #: the originating request's trace id ("" for service-level events)
+    trace_id: str = ""
+    #: wall-clock epoch seconds at emit time
+    ts: float = 0.0
+    args: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "level": self.level,
+            "event": self.event,
+            "message": self.message,
+            "ts": round(self.ts, 6),
+        }
+        if self.trace_id:
+            record["trace_id"] = self.trace_id
+        if self.args:
+            record["args"] = self.args
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "LogEvent":
+        return cls(
+            level=str(record["level"]),
+            event=str(record["event"]),
+            message=str(record["message"]),
+            trace_id=str(record.get("trace_id", "")),
+            ts=float(record.get("ts", 0.0)),
+            args=dict(record.get("args", {})),  # type: ignore[arg-type]
+        )
+
+
+class EventLog:
+    """Accumulates :class:`LogEvent`\\ s for one session.
+
+    Disabled by default; :meth:`emit` tests :attr:`enabled` first and
+    returns immediately, keeping logging-off runs bit-identical (the
+    journal/tracer/metrics contract).  ``level`` is the threshold:
+    events ranked below it are dropped even while enabled.
+    """
+
+    def __init__(self, enabled: bool = False, level: str = "info") -> None:
+        self.enabled = enabled
+        self.level = level
+        self.events: List[LogEvent] = []
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(
+        self,
+        level: str,
+        event: str,
+        message: str,
+        trace_id: str = "",
+        **args: object,
+    ) -> Optional[LogEvent]:
+        if not self.enabled:
+            return None
+        assert level in _LEVEL_RANK, level
+        if _LEVEL_RANK[level] < _LEVEL_RANK.get(self.level, 0):
+            return None
+        record = LogEvent(
+            level=level,
+            event=event,
+            message=message,
+            trace_id=trace_id,
+            ts=time.time(),
+            args=args,
+        )
+        self.events.append(record)
+        STAT_LOG_EVENTS.add()
+        return record
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def enable(self, level: Optional[str] = None) -> None:
+        if level is not None:
+            assert level in _LEVEL_RANK, level
+            self.level = level
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    # -- queries -----------------------------------------------------------
+
+    def of_level(self, level: str) -> List[LogEvent]:
+        """Events at ``level`` severity or above."""
+        floor = _LEVEL_RANK[level]
+        return [
+            event for event in self.events
+            if _LEVEL_RANK.get(event.level, 0) >= floor
+        ]
+
+    def of_event(self, name: str) -> List[LogEvent]:
+        return [event for event in self.events if event.event == name]
+
+    def for_trace(self, trace_id: str) -> List[LogEvent]:
+        return [event for event in self.events if event.trace_id == trace_id]
+
+    # -- JSONL serialization ----------------------------------------------
+
+    def to_jsonl(self) -> str:
+        return "".join(
+            json.dumps(event.to_dict(), sort_keys=True) + "\n"
+            for event in self.events
+        )
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl())
+
+
+def load_event_log(path: str) -> List[LogEvent]:
+    """Parse an event-log JSONL file back into :class:`LogEvent` objects."""
+    events: List[LogEvent] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(LogEvent.from_dict(json.loads(line)))
+    return events

@@ -319,8 +319,15 @@ class MetricsRegistry:
 
     def render_exposition(self, stats: Optional[StatsRegistry] = None) -> str:
         """Prometheus text format: counters (from ``stats``), gauges and
-        histograms, all under a ``repro_`` prefix with sanitized names."""
-        lines: List[str] = []
+        histograms, all under a ``repro_`` prefix with sanitized names.
+
+        Every exposition leads with a ``repro_build_info`` info-style
+        gauge (value 1, identity in labels — the node-exporter idiom) so
+        scraped series can always be joined back to the exact source
+        fingerprint, active engine and bench-task format that produced
+        them.
+        """
+        lines: List[str] = list(_build_info_lines())
         if stats is not None:
             for name in stats.names():
                 stat = stats.stat(name)
@@ -366,6 +373,33 @@ class MetricsRegistry:
             f"<MetricsRegistry {state}: {len(self.gauges)} gauges, "
             f"{len(self.histograms)} histograms>"
         )
+
+
+def _build_info_lines() -> List[str]:
+    """The ``repro_build_info`` identity gauge, node-exporter style.
+
+    The providers live in packages that import ``repro.observe`` (the
+    vectorizer cache for the source fingerprint and format version, the
+    interpreter for the active engine), so they are imported lazily here
+    — at render time the cycle has long since resolved.  If an embedder
+    renders an exposition with those packages unavailable, the gauge is
+    simply omitted rather than failing the scrape.
+    """
+    try:
+        from ..interp.engine import default_engine
+        from ..vectorizer.cache import CACHE_FORMAT, repro_source_fingerprint
+    except ImportError:  # pragma: no cover - partial installs only
+        return []
+    return [
+        "# HELP repro_build_info source fingerprint, active engine and "
+        "bench-task format of this build",
+        "# TYPE repro_build_info gauge",
+        "repro_build_info{"
+        f'engine="{default_engine()}",'
+        f'fingerprint="{repro_source_fingerprint()}",'
+        f'format="{CACHE_FORMAT}"'
+        "} 1",
+    ]
 
 
 _SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")

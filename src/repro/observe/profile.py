@@ -14,9 +14,11 @@ depth) and derives:
   one per unique stack, weighted by self time in microseconds — the
   input format of Brendan Gregg's ``flamegraph.pl`` and of speedscope.
 
-Events merged in from parallel workers keep their worker ``pid``; each
-worker's spans form their own forest, rooted under a ``pid<N>`` frame in
-the folded output so per-worker time stays attributable.
+Events merged in from parallel workers keep their worker ``pid`` and
+pool ``generation``; each worker's spans form their own forest, rooted
+under a ``pid<N>`` frame (``pid<N>.g<G>`` for respawned generations) in
+the folded output so per-worker time stays attributable even when the
+OS reuses a pid across respawns.
 """
 
 from __future__ import annotations
@@ -54,17 +56,18 @@ def _encloses(parent: TraceEvent, child: TraceEvent) -> bool:
 def build_trees(events: Sequence[TraceEvent]) -> List[ProfileNode]:
     """Reconstruct span forests from a flat completed-event list.
 
-    Events are grouped by worker ``pid`` (spans merged from different
-    processes share a timebase only within their process), then nested
-    with a stack sweep in (start, depth) order.
+    Events are grouped by worker ``(pid, generation)`` (spans merged
+    from different processes share a timebase only within their process,
+    and the OS reuses pids across service worker generations), then
+    nested with a stack sweep in (start, depth) order.
     """
-    by_pid: Dict[int, List[TraceEvent]] = {}
+    by_track: Dict[tuple, List[TraceEvent]] = {}
     for event in events:
-        by_pid.setdefault(event.pid, []).append(event)
+        by_track.setdefault((event.pid, event.generation), []).append(event)
     roots: List[ProfileNode] = []
-    for pid in sorted(by_pid):
+    for track in sorted(by_track):
         ordered = sorted(
-            by_pid[pid], key=lambda e: (e.start_ns, e.depth, -e.duration_ns)
+            by_track[track], key=lambda e: (e.start_ns, e.depth, -e.duration_ns)
         )
         stack: List[ProfileNode] = []
         for event in ordered:
@@ -147,7 +150,12 @@ def folded_stacks(events: Sequence[TraceEvent]) -> str:
             visit(child, path)
 
     for root in build_trees(events):
-        base = f"pid{root.event.pid}" if root.event.pid else ""
+        if not root.event.pid:
+            base = ""
+        elif not root.event.generation:
+            base = f"pid{root.event.pid}"
+        else:
+            base = f"pid{root.event.pid}.g{root.event.generation}"
         visit(root, base)
     return "".join(f"{path} {weight}\n" for path, weight in sorted(weights.items()))
 

@@ -56,6 +56,7 @@ from contextlib import contextmanager
 from typing import Iterator, Optional
 
 from .journal import DecisionJournal
+from .log import EventLog
 from .metrics import MetricsRegistry
 from .remarks import RemarkCollector
 from .stats import StatsRegistry
@@ -64,7 +65,7 @@ from .trace import Tracer
 
 class CompilerSession:
     """One observability scope: stats + remarks + tracer + journal +
-    metrics (+ faults, seed).
+    metrics + event log (+ faults, seed).
 
     ``faults`` is an opaque slot deliberately untyped here: the fault
     registry lives in :mod:`repro.robust.faults`, which imports this
@@ -74,7 +75,7 @@ class CompilerSession:
 
     __slots__ = (
         "name", "stats", "remarks", "tracer", "journal", "metrics",
-        "faults", "seed",
+        "log", "faults", "seed",
     )
 
     def __init__(
@@ -85,6 +86,7 @@ class CompilerSession:
         tracer: Optional[Tracer] = None,
         journal: Optional[DecisionJournal] = None,
         metrics: Optional[MetricsRegistry] = None,
+        log: Optional[EventLog] = None,
         faults: object = None,
         seed: Optional[int] = None,
     ) -> None:
@@ -94,6 +96,7 @@ class CompilerSession:
         self.tracer = tracer if tracer is not None else Tracer()
         self.journal = journal if journal is not None else DecisionJournal()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.log = log if log is not None else EventLog()
         self.faults = faults
         self.seed = seed
 
@@ -115,7 +118,9 @@ class CompilerSession:
         *caller* reads after the fact.  The metrics registry is likewise
         always shared, so histogram observations made in a derived
         compile session accumulate directly into the parent's
-        distributions — "merging" child histograms is free.
+        distributions — "merging" child histograms is free.  The event
+        log is shared for the same reason: service/ops events are one
+        stream per invocation, whoever's child emitted them.
         """
         return CompilerSession(
             name=name or f"{self.name}.child",
@@ -124,6 +129,7 @@ class CompilerSession:
             tracer=self.tracer,
             journal=self.journal,
             metrics=self.metrics,
+            log=self.log,
             faults=self.faults,
             seed=self.seed,
         )
@@ -176,6 +182,10 @@ def current_journal() -> DecisionJournal:
 
 def current_metrics() -> MetricsRegistry:
     return current_session().metrics
+
+
+def current_log() -> EventLog:
+    return current_session().log
 
 
 # -- deprecated singleton aliases (the shim) ---------------------------------

@@ -464,6 +464,10 @@ def run_chaos_campaign(
             progress(line)
 
     note("computing fault-free baselines (bench, fuzz, socket)")
+    parent.log.emit(
+        "info", "chaos-start", "chaos campaign started",
+        budget=budget, seed=seed, scenarios=len(scenarios),
+    )
     baseline_session = CompilerSession(name="chaos-baseline")
     baselines = {
         "bench": _bench_workload(baseline_session, kernel_names, None, None),
@@ -504,13 +508,29 @@ def run_chaos_campaign(
             f"run {index}: {scenario.name} [{scenario.workload}] -> "
             f"{status} ({detail})"
         )
+        # Structured twin of the progress line: escaped/fatal runs are
+        # contract violations, so they log above the default threshold.
+        parent.log.emit(
+            "error" if status in ("escaped", "fatal") else "info",
+            "chaos-run", detail,
+            run=index, scenario=scenario.name, site=scenario.site,
+            workload=scenario.workload, status=status,
+            seconds=round(run.seconds, 6),
+        )
         for name, value in counters.items():
             if name.startswith(("serve.", "cache.")):
                 parent.stats.stat(name).add(value)
 
-    return ChaosResult(
+    result = ChaosResult(
         seed=seed,
         budget=budget,
         runs=runs,
         elapsed_seconds=time.perf_counter() - started,
     )
+    parent.log.emit(
+        "info", "chaos-done", "chaos campaign finished",
+        budget=budget, ok=result.ok,
+        escaped=result.by_status["escaped"] + result.by_status["fatal"],
+        elapsed=round(result.elapsed_seconds, 6),
+    )
+    return result

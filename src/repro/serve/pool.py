@@ -17,15 +17,23 @@ itself before handing bytes to this pool).
 
 Protocol (all tuples, pickled):
 
-* parent → worker: ``(task_id, kind, payload_bytes)`` or the ``None``
-  sentinel meaning *drain and exit* — the worker finishes everything
-  already in its pipe first, then acknowledges and leaves.
+* parent → worker: ``(task_id, kind, payload_bytes, trace)`` or the
+  ``None`` sentinel meaning *drain and exit* — the worker finishes
+  everything already in its pipe first, then acknowledges and leaves.
+  ``trace`` is ``None`` (tracing off) or the requesting context's
+  :meth:`~repro.observe.context.TraceContext.to_wire` triple
+  ``(trace_id, span_id, attempt)``.
 * worker → parent: ``(task_id, status, data_bytes, worker_seconds,
-  stats_delta)`` where ``status`` is ``"ok"`` or ``"error"``,
+  stats_delta, spans)`` where ``status`` is ``"ok"`` or ``"error"``,
   ``data_bytes`` pickles the result (or ``(exc_type_name, message)``)
   and ``stats_delta`` is the warm session's counter delta for the task
   (cache hits etc.), folded into the service session by the parent —
   never into task results, so bit-identity with serial runs holds.
+  ``spans`` is the task's captured span forest (empty when the task
+  carried no trace): :class:`~repro.observe.trace.TraceEvent` objects
+  rooted at a ``worker:task`` span whose ``parent_id`` is the request
+  span shipped in ``trace``, which is what lets the parent assemble one
+  causally-linked tree per request across process boundaries.
 
 Crash handling: the parent polls ``Process.is_alive()`` (pipe EOF is
 unreliable under ``fork`` because later workers inherit earlier workers'
@@ -45,8 +53,8 @@ from multiprocessing import Pipe, Process, connection
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 #: wire tuples (see module docstring)
-TaskEnvelope = Tuple[int, str, bytes]
-ResultEnvelope = Tuple[int, str, bytes, float, Dict[str, float]]
+TaskEnvelope = Tuple[int, str, bytes, Optional[Tuple[str, str, int]]]
+ResultEnvelope = Tuple[int, str, bytes, float, Dict[str, float], List[object]]
 
 #: pseudo task id of periodic worker heartbeat envelopes
 HEARTBEAT_ID = -3
@@ -97,6 +105,7 @@ def _worker_main(
         session=session,
         cache_dir=cache_dir,
         cache_entries=cache_entries,
+        generation=generation,
     )
     # The heartbeat thread shares the result pipe with task replies;
     # Connection.send is not atomic across threads, so all sends take
@@ -113,7 +122,7 @@ def _worker_main(
             while True:
                 time.sleep(heartbeat_interval)
                 try:
-                    _send((HEARTBEAT_ID, "hb", b"", 0.0, {}))
+                    _send((HEARTBEAT_ID, "hb", b"", 0.0, {}, []))
                 except (OSError, BrokenPipeError, ValueError):
                     break
 
@@ -129,16 +138,16 @@ def _worker_main(
                 break
             if envelope is None:  # drain sentinel
                 try:
-                    _send((-1, "bye", b"", 0.0, {}))
+                    _send((-1, "bye", b"", 0.0, {}, []))
                 except (OSError, BrokenPipeError):
                     pass
                 break
-            task_id, kind, payload_bytes = envelope
+            task_id, kind, payload_bytes, trace = envelope
             # Proactive progress beat: the parent's wedged-worker
             # detector measures stall time from this marker, so a task
             # that never completes is caught before its deadline.
             try:
-                _send((task_id, "begin", b"", 0.0, {}))
+                _send((task_id, "begin", b"", 0.0, {}, []))
             except (OSError, BrokenPipeError):
                 break
             if faults is not None:
@@ -149,11 +158,18 @@ def _worker_main(
                 faults.fire("serve.worker.stall")
             started = time.perf_counter()
             before = session.stats.snapshot()
+            spans: List[object] = []
             try:
                 payload = pickle.loads(payload_bytes)
                 if faults is not None:
                     faults.fire("serve.task.error")
-                result = run_task(kind, payload, state)
+                if trace is None:
+                    result = run_task(kind, payload, state)
+                else:
+                    result = _run_traced(
+                        state, generation, task_id, kind, payload,
+                        trace, spans,
+                    )
                 status, data = "ok", pickle.dumps(result, protocol=-1)
             except BaseException as exc:  # noqa: BLE001 - ship, don't die
                 status = "error"
@@ -183,9 +199,61 @@ def _worker_main(
             if garbled:
                 continue
             try:
-                _send((task_id, status, data, worker_seconds, delta))
+                _send((task_id, status, data, worker_seconds, delta, spans))
             except (OSError, BrokenPipeError):
                 break
+
+
+def _run_traced(
+    state: object,
+    generation: int,
+    task_id: int,
+    kind: str,
+    payload: object,
+    raw_trace: Tuple[str, str, int],
+    spans_out: List[object],
+) -> object:
+    """Run one task under its request's bound trace context.
+
+    Opens a ``worker:task`` root span parented to the request span the
+    parent shipped in the envelope, installs a derived ambient context so
+    compile-phase spans opened by the task nest under that root, and
+    captures the resulting span forest into ``spans_out`` — also when
+    the task raises (the root span closes during propagation), so error
+    replies still carry their spans.  The warm session's tracer is
+    force-enabled only for the scope of the task; spans are moved out of
+    the worker-local tracer so repeated tasks never accumulate state.
+    """
+    from ..observe.context import TraceContext, use_trace_context
+    from .tasks import run_task
+
+    session = state.session  # type: ignore[attr-defined]
+    context = TraceContext.from_wire(raw_trace)
+    tracer = session.tracer
+    mark = len(tracer.events)
+    was_enabled = tracer.enabled
+    tracer.enabled = True
+    try:
+        with tracer.bind(context):
+            with tracer.span(
+                "worker:task",
+                kind=kind,
+                task=task_id,
+                worker=state.index,  # type: ignore[attr-defined]
+                attempt=context.attempt,
+            ) as root:
+                inner = context.child(root.span_id)
+                with use_trace_context(inner):
+                    return run_task(kind, payload, state)
+    finally:
+        pid = os.getpid()
+        captured = tracer.events[mark:]
+        del tracer.events[mark:]
+        tracer.enabled = was_enabled
+        for event in captured:
+            event.pid = pid
+            event.generation = generation
+        spans_out.extend(captured)
 
 
 @dataclass
@@ -330,9 +398,16 @@ class WorkerPool:
 
     # -- I/O --
 
-    def send(self, index: int, task_id: int, kind: str, payload: bytes) -> None:
+    def send(
+        self,
+        index: int,
+        task_id: int,
+        kind: str,
+        payload: bytes,
+        trace: Optional[Tuple[str, str, int]] = None,
+    ) -> None:
         worker = self.workers[index]
-        worker.task_send.send((task_id, kind, payload))
+        worker.task_send.send((task_id, kind, payload, trace))
         worker.inflight += 1
         worker.tasks_sent += 1
 

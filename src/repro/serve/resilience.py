@@ -41,7 +41,9 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..observe import STAT
+from ..observe.context import TraceContext, mint_context, new_span_id
 from ..observe.session import CompilerSession, current_session, use_session
+from ..observe.trace import TraceEvent
 from .service import (
     CompileService,
     RemoteTaskError,
@@ -236,19 +238,37 @@ class ResilientExecutor:
     # -- the batch API --------------------------------------------------
 
     def run_batch(self, tasks: Sequence[TaskSpec]) -> List[object]:
-        """Execute every task; results in submission order, no escapes."""
+        """Execute every task; results in submission order, no escapes.
+
+        While the session tracer is enabled each task gets one minted
+        :class:`TraceContext` for its entire ladder journey: the first
+        service attempt, every retry (same trace id, bumped attempt),
+        any hedged duplicate, and the degradation rungs all share it, so
+        the whole story lands in one ``client:request``-rooted span tree.
+        """
+        traced = self.session.tracer.enabled
+        contexts: List[Optional[TraceContext]] = [
+            mint_context() if traced else None for _ in tasks
+        ]
+        started = [time.perf_counter_ns() if traced else 0 for _ in tasks]
         futures: List[Optional[Future]] = [
-            self._try_submit(task) for task in tasks
+            self._try_submit(task, trace=context)
+            for task, context in zip(tasks, contexts)
         ]
         return [
-            self._collect(task, future)
-            for task, future in zip(tasks, futures)
+            self._collect(task, future, context, start_ns)
+            for task, future, context, start_ns in zip(
+                tasks, futures, contexts, started
+            )
         ]
 
     # -- service attempts ----------------------------------------------
 
     def _try_submit(
-        self, task: TaskSpec, shard_key: object = "use-task"
+        self,
+        task: TaskSpec,
+        shard_key: object = "use-task",
+        trace: Optional[TraceContext] = None,
     ) -> Optional[Future]:
         """Submit to the service, or None when it can't take the task."""
         if self.service is None or not self.breaker.allow():
@@ -257,20 +277,26 @@ class ResilientExecutor:
         shard = task_shard if shard_key == "use-task" else shard_key
         try:
             return self.service.submit(
-                kind, payload, shard_key=shard, weight=weight
+                kind, payload, shard_key=shard, weight=weight, trace=trace
             )
         except ServiceError:
             self._count_failure()
             return None
 
-    def _collect(self, task: TaskSpec, future: Optional[Future]) -> object:
+    def _collect(
+        self,
+        task: TaskSpec,
+        future: Optional[Future],
+        context: Optional[TraceContext] = None,
+        started_ns: int = 0,
+    ) -> object:
         kind, _, shard_key, _ = task
         policy = self.policy
         attempt = 0
         last_exc: Optional[BaseException] = None
         while future is not None:
             try:
-                result = self._await(task, future)
+                result = self._await(task, future, context)
             except ServiceError as exc:
                 last_exc = exc
                 self._count_failure()
@@ -282,18 +308,66 @@ class ResilientExecutor:
                     break
                 attempt += 1
                 _RETRIES.resolve(self.session.stats).add()
+                if context is not None:
+                    context = context.retry()
+                self.session.log.emit(
+                    "info", "retry",
+                    f"resubmitting {kind} task after "
+                    f"{type(exc).__name__} (attempt {attempt})",
+                    trace_id=context.trace_id if context else "",
+                    kind=kind,
+                    attempt=attempt,
+                    error=type(exc).__name__,
+                )
                 delay = backoff_delay(
                     policy, attempt, token=shard_key or kind
                 )
                 if delay > 0:
                     time.sleep(delay)
-                future = self._try_submit(task)
+                future = self._try_submit(task, trace=context)
             else:
                 self.breaker.record_success()
+                self._sync_breaker()
+                self._finish_client_span(task, context, started_ns, "ok")
                 return result
-        return self._run_degraded(task, cause=last_exc)
+        result = self._run_degraded(task, cause=last_exc, context=context)
+        self._finish_client_span(task, context, started_ns, "degraded")
+        return result
 
-    def _await(self, task: TaskSpec, future: Future) -> object:
+    def _finish_client_span(
+        self,
+        task: TaskSpec,
+        context: Optional[TraceContext],
+        started_ns: int,
+        status: str,
+    ) -> None:
+        """Close the per-task root: the client-side ``client:request``
+        span every service/worker/ladder span ultimately parents into."""
+        if context is None or not self.session.tracer.enabled:
+            return
+        self.session.tracer.events.append(
+            TraceEvent(
+                name="client:request",
+                start_ns=started_ns,
+                duration_ns=max(0, time.perf_counter_ns() - started_ns),
+                depth=0,
+                args={
+                    "kind": task[0],
+                    "status": status,
+                    "attempt": context.attempt,
+                },
+                trace_id=context.trace_id,
+                span_id=context.span_id,
+                parent_id="",
+            )
+        )
+
+    def _await(
+        self,
+        task: TaskSpec,
+        future: Future,
+        context: Optional[TraceContext] = None,
+    ) -> object:
         """Wait for ``future``, hedging a duplicate if it straggles."""
         hedge_after = self.policy.hedge_after_seconds
         if hedge_after is None:
@@ -302,11 +376,20 @@ class ResilientExecutor:
         if done:
             return future.result()
         # Straggler: race a duplicate on a *different* worker (no shard
-        # pin), since the pinned worker is the likely culprit.
-        hedge = self._try_submit(task, shard_key=None)
+        # pin), since the pinned worker is the likely culprit.  The hedge
+        # shares the original request's trace context, so both attempts
+        # land in the same span tree.
+        hedge = self._try_submit(task, shard_key=None, trace=context)
         if hedge is None:
             return future.result()
         _HEDGES.resolve(self.session.stats).add()
+        self.session.log.emit(
+            "info", "hedge",
+            f"hedged a duplicate {task[0]} request after "
+            f"{hedge_after:g}s without a result",
+            trace_id=context.trace_id if context else "",
+            kind=task[0],
+        )
         pair = [future, hedge]
         pending = set(pair)
         winner: Optional[Future] = None
@@ -328,13 +411,56 @@ class ResilientExecutor:
             raise first_exc
         for f in pair:
             if f is not winner and not f.done() and self.service is not None:
-                self.service.cancel(f)
+                cancelled = self.service.cancel(f)
+                if cancelled:
+                    self._record_hedge_loser(task, context, f is hedge)
         if winner is hedge:
             _HEDGE_WINS.resolve(self.session.stats).add()
         return winner.result()
 
+    def _record_hedge_loser(
+        self,
+        task: TaskSpec,
+        context: Optional[TraceContext],
+        loser_was_hedge: bool,
+    ) -> None:
+        """Note the cancelled side of a hedge race in the request's tree."""
+        self.session.log.emit(
+            "info", "hedge-loser-cancelled",
+            f"cancelled the losing "
+            f"{'hedge' if loser_was_hedge else 'original'} of a hedged "
+            f"{task[0]} request",
+            trace_id=context.trace_id if context else "",
+            kind=task[0],
+            loser="hedge" if loser_was_hedge else "original",
+        )
+        if context is None or not self.session.tracer.enabled:
+            return
+        self.session.tracer.events.append(
+            TraceEvent(
+                name="serve:hedge-loser-cancelled",
+                start_ns=time.perf_counter_ns(),
+                duration_ns=0,
+                depth=1,
+                args={
+                    "kind": task[0],
+                    "loser": "hedge" if loser_was_hedge else "original",
+                },
+                trace_id=context.trace_id,
+                span_id=new_span_id(),
+                parent_id=context.span_id,
+            )
+        )
+
+    def _sync_breaker(self) -> None:
+        """Mirror the breaker state onto the service for ``stats``/top."""
+        if self.service is not None:
+            self.service.breaker_state = self.breaker.state
+
     def _count_failure(self) -> None:
-        if self.breaker.record_failure():
+        tripped = self.breaker.record_failure()
+        self._sync_breaker()
+        if tripped:
             _BREAKER_TRIPS.resolve(self.session.stats).add()
             self.session.remarks.recovery(
                 "resilience",
@@ -344,13 +470,28 @@ class ResilientExecutor:
                 f"{self.breaker.cooldown_seconds:g}s",
                 breaker_trips=self.breaker.trips,
             )
+            self.session.log.emit(
+                "error", "breaker-trip",
+                f"circuit breaker opened after "
+                f"{self.breaker.consecutive_failures} consecutive failures",
+                trips=self.breaker.trips,
+            )
 
     # -- the degradation ladder ----------------------------------------
 
     def _run_degraded(
-        self, task: TaskSpec, cause: Optional[BaseException] = None
+        self,
+        task: TaskSpec,
+        cause: Optional[BaseException] = None,
+        context: Optional[TraceContext] = None,
     ) -> object:
-        """Rungs below the service: local pool, then serial in-process."""
+        """Rungs below the service: local pool, then serial in-process.
+
+        ``context`` (when tracing) follows the task down the ladder, so
+        the rung that finally runs it — local-pool worker or the serial
+        fallback right here — still parents its spans into the same
+        ``client:request`` tree as the failed service attempts.
+        """
         kind, payload, shard_key, weight = task
         _DEGRADED.resolve(self.session.stats).add()
         detail = (
@@ -362,7 +503,8 @@ class ResilientExecutor:
             try:
                 local = self._ensure_local_service()
                 result = local.submit(
-                    kind, payload, shard_key=shard_key, weight=weight
+                    kind, payload, shard_key=shard_key, weight=weight,
+                    trace=context,
                 ).result()
             except ServiceError as exc:
                 self._local_failed = True
@@ -371,12 +513,21 @@ class ResilientExecutor:
                     f"{type(exc).__name__}"
                 )
             else:
+                self._adopt_local_spans()
                 self.session.remarks.recovery(
                     "resilience",
                     f"degraded {kind} task to the ephemeral local pool "
                     f"({detail})",
                     task_kind=kind,
                     rung="local-pool",
+                )
+                self.session.log.emit(
+                    "warn", "degrade",
+                    f"degraded {kind} task to the ephemeral local pool",
+                    trace_id=context.trace_id if context else "",
+                    kind=kind,
+                    rung="local-pool",
+                    cause=detail,
                 )
                 return result
         self.session.remarks.recovery(
@@ -386,7 +537,15 @@ class ResilientExecutor:
             task_kind=kind,
             rung="serial",
         )
-        return self._run_serial(kind, payload)
+        self.session.log.emit(
+            "warn", "degrade",
+            f"degraded {kind} task to serial in-process execution",
+            trace_id=context.trace_id if context else "",
+            kind=kind,
+            rung="serial",
+            cause=detail,
+        )
+        return self._run_serial(kind, payload, context)
 
     def _ensure_local_service(self) -> CompileService:
         with self._lock:
@@ -396,6 +555,10 @@ class ResilientExecutor:
                 # local pool models a healthy replacement, like a
                 # respawned worker.
                 local_session = CompilerSession(name="resilience-local")
+                # Mirror the caller's tracing switch so the local rung's
+                # request/worker spans exist to be adopted; everything
+                # else in the session stays fresh (fault isolation).
+                local_session.tracer.enabled = self.session.tracer.enabled
                 self._local_service = CompileService(
                     workers=self.policy.local_pool_workers,
                     session=local_session,
@@ -403,7 +566,31 @@ class ResilientExecutor:
                 ).start()
             return self._local_service
 
-    def _run_serial(self, kind: str, payload: object) -> object:
+    def _adopt_local_spans(self) -> None:
+        """Move the local pool's captured spans into the caller's tracer.
+
+        The local service records into its own fresh session; after each
+        degraded result its span forest (request spans plus the worker
+        spans shipped back over its pipes) is drained into the caller's
+        tracer so the trace file shows the full ladder story.
+        """
+        if not self.session.tracer.enabled:
+            return
+        with self._lock:
+            local = self._local_service
+        if local is None or local.session is self.session:
+            return
+        events = local.session.tracer.events
+        if events:
+            self.session.tracer.events.extend(events)
+            del events[: len(events)]
+
+    def _run_serial(
+        self,
+        kind: str,
+        payload: object,
+        context: Optional[TraceContext] = None,
+    ) -> object:
         """Last rung: run the task right here, no processes involved."""
         from .tasks import WorkerState, run_task
 
@@ -414,5 +601,26 @@ class ResilientExecutor:
                     session=CompilerSession(name="resilience-serial"),
                 )
             state = self._serial_state
-        with use_session(state.session):
-            return run_task(kind, payload, state)
+        if context is None or not self.session.tracer.enabled:
+            with use_session(state.session):
+                return run_task(kind, payload, state)
+        # Trace the serial rung like a worker would: a ``serial:task``
+        # root parented into the request context, compile-phase spans
+        # nested inside, the forest moved into the caller's tracer
+        # afterwards (pid stays 0 — this *is* the client process).
+        tracer = state.session.tracer
+        mark = len(tracer.events)
+        was_enabled = tracer.enabled
+        tracer.enabled = True
+        try:
+            with use_session(state.session):
+                with tracer.bind(context):
+                    with tracer.span(
+                        "serial:task", kind=kind, attempt=context.attempt
+                    ):
+                        return run_task(kind, payload, state)
+        finally:
+            captured = tracer.events[mark:]
+            del tracer.events[mark:]
+            tracer.enabled = was_enabled
+            self.session.tracer.events.extend(captured)

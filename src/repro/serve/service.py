@@ -55,7 +55,10 @@ from concurrent.futures import Future
 from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..observe import STAT
+from ..observe.context import TraceContext, mint_context, new_span_id
+from ..observe.metrics import exact_percentile
 from ..observe.session import CompilerSession, current_session
+from ..observe.trace import TraceEvent
 from .pool import WorkerPool
 
 _MARSHAL_SECONDS = STAT(
@@ -143,6 +146,17 @@ class TaskRecord:
     attempts: int = 0
     state: str = "pending"  # pending | inflight | abandoned
     done: bool = False
+    #: request context for this task (None while tracing is off); the
+    #: *record* owns the context, so a crash→requeue keeps the trace id
+    #: and only the wire attempt counter moves
+    trace: Optional[TraceContext] = None
+    #: span id of the caller-side span the request span parents into
+    #: ("" when the request is itself the root)
+    parent_span: str = ""
+    #: tracer stamp of submission, for the synthesized queue/request spans
+    submitted_ns: int = 0
+    payload_bytes: int = 0
+    marshal_seconds: float = 0.0
 
 
 class CompileService:
@@ -163,6 +177,7 @@ class CompileService:
         stall_budget: Optional[float] = None,
         fault_plans: Sequence[Tuple[str, str, int, bool]] = (),
         fault_stall_seconds: Optional[float] = None,
+        slow_log_seconds: Optional[float] = None,
     ) -> None:
         self.session = session if session is not None else current_session()
         self.name = name
@@ -199,6 +214,17 @@ class CompileService:
         self._started_at = 0.0
         self._weight_done = 0.0
         self.spawn_seconds = 0.0
+        #: turnaround threshold for the structured slow-request log
+        #: (None = off); exceeding requests append to :attr:`slow_records`
+        self.slow_log_seconds = slow_log_seconds
+        self.slow_records: Deque[Dict[str, object]] = deque(maxlen=256)
+        #: recent per-task latencies for the live ``stats``/``repro top``
+        #: percentiles — introspection only, never part of results
+        self._recent_queue: Deque[float] = deque(maxlen=512)
+        self._recent_turnaround: Deque[float] = deque(maxlen=512)
+        #: mirrored by a client-side ResilientExecutor when one fronts
+        #: this service ("closed"/"open"/"half-open"; "" = no breaker)
+        self.breaker_state = ""
 
     # -- properties ---------------------------------------------------------------
 
@@ -213,6 +239,29 @@ class CompileService:
     def compiles_per_sec(self) -> float:
         elapsed = time.perf_counter() - self._started_at
         return self._weight_done / elapsed if elapsed > 0 else 0.0
+
+    def _log(
+        self,
+        level: str,
+        event: str,
+        message: str,
+        record: Optional[TaskRecord] = None,
+        **args: object,
+    ) -> None:
+        """Emit to the session's structured event log (one-branch no-op
+        while disabled), trace-correlated when ``record`` carries one."""
+        log = self.session.log
+        if not log.enabled:
+            return
+        trace_id = (
+            record.trace.trace_id
+            if record is not None and record.trace is not None
+            else ""
+        )
+        if record is not None:
+            args.setdefault("task", record.id)
+            args.setdefault("kind", record.kind)
+        log.emit(level, event, message, trace_id=trace_id, **args)
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -236,6 +285,13 @@ class CompileService:
         )
         self._thread.start()
         self._started = True
+        self._log(
+            "info", "service-start",
+            f"service {self.name!r} started with {self.pool.size} worker(s)",
+            workers=self.pool.size,
+            cache_dir=self.cache_dir or "",
+            spawn_seconds=round(self.spawn_seconds, 6),
+        )
         return self
 
     def __enter__(self) -> "CompileService":
@@ -266,6 +322,13 @@ class CompileService:
                 ),
             )
         self._final_gauges()
+        self._log(
+            "info", "service-stop",
+            f"service {self.name!r} stopped",
+            respawns=self.pool.respawns,
+            defunct=len(self.pool.defunct),
+            slow_requests=len(self.slow_records),
+        )
         self.pool.stop(graceful=drain)
         for fd in (self._wake_r, self._wake_w):
             try:
@@ -299,8 +362,18 @@ class CompileService:
         timeout: object = _UNSET,
         weight: float = 1.0,
         block: bool = True,
+        trace: Optional[TraceContext] = None,
     ) -> Future:
-        """Enqueue one task; returns a ``concurrent.futures.Future``."""
+        """Enqueue one task; returns a ``concurrent.futures.Future``.
+
+        While the session tracer is enabled every task gets a request
+        :class:`TraceContext` — derived from ``trace`` when the caller
+        passes one (wire requests, the resilience layer), freshly minted
+        otherwise — carried through dispatch to the worker and back, so
+        the worker's compile-phase spans parent into this request's span
+        tree.  With tracing off the whole mechanism is skipped and runs
+        stay bit-identical.
+        """
         if not self._started:
             self.start()
         if self._closing:
@@ -341,7 +414,22 @@ class CompileService:
                 weight=float(weight),
                 deadline=deadline,
                 submitted_at=time.perf_counter(),
+                submitted_ns=time.perf_counter_ns(),
+                payload_bytes=len(data),
+                marshal_seconds=marshal_seconds,
             )
+            if self.session.tracer.enabled:
+                if trace is not None:
+                    # Wire/resilience callers own the request identity;
+                    # the service span becomes a child of theirs.
+                    record.trace = TraceContext(
+                        trace_id=trace.trace_id,
+                        span_id=new_span_id(),
+                        attempt=trace.attempt,
+                    )
+                    record.parent_span = trace.span_id
+                else:
+                    record.trace = mint_context()
             self._next_id += 1
             self._records[record.id] = record
             self._by_future[record.future] = record
@@ -407,6 +495,9 @@ class CompileService:
                     "generation": worker.generation,
                     "alive": worker.alive(),
                     "tasks_sent": worker.tasks_sent,
+                    "inflight": len(
+                        self._inflight.get(worker.index, OrderedDict())
+                    ),
                     "busy_seconds": round(worker.busy_seconds, 6),
                     "utilization": round(
                         worker.busy_seconds / max(1e-9, now - worker.started_at), 4
@@ -414,11 +505,16 @@ class CompileService:
                 }
                 for worker in self.pool.workers
             ]
+            recent_queue = list(self._recent_queue)
+            recent_turnaround = list(self._recent_turnaround)
         counters = {
             name: value
             for name, value in self.session.stats.snapshot().items()
             if name.startswith(("serve.", "cache.", "parallel."))
         }
+        hits = counters.get("serve.task_cache.hits", 0.0)
+        misses = counters.get("serve.task_cache.misses", 0.0)
+        lookups = hits + misses
         return {
             "name": self.name,
             "workers": workers,
@@ -429,6 +525,17 @@ class CompileService:
             "uptime_seconds": round(now - self._started_at, 3),
             "compiles_per_sec": round(self.compiles_per_sec(), 3),
             "cache_dir": self.cache_dir,
+            "cache_hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+            "breaker": self.breaker_state,
+            "slow_requests": len(self.slow_records),
+            "queue_seconds": {
+                "p50": round(exact_percentile(recent_queue, 50), 6),
+                "p99": round(exact_percentile(recent_queue, 99), 6),
+            },
+            "turnaround_seconds": {
+                "p50": round(exact_percentile(recent_turnaround, 50), 6),
+                "p99": round(exact_percentile(recent_turnaround, 99), 6),
+            },
             "counters": counters,
         }
 
@@ -494,8 +601,24 @@ class CompileService:
                 if index is None:
                     remaining.append(record)
                     continue
+                wire_trace = None
+                if record.trace is not None:
+                    # record.attempts is pre-increment here: 0 on the
+                    # first dispatch, +1 per crash→requeue retry.  The
+                    # context's own attempt is the caller's retry count
+                    # (a ResilientExecutor resubmission), so the worker
+                    # sees the total — same trace id every time, only
+                    # the attempt moves.
+                    wire_trace = (
+                        record.trace.trace_id,
+                        record.trace.span_id,
+                        record.trace.attempt + record.attempts,
+                    )
                 try:
-                    self.pool.send(index, record.id, record.kind, record.payload)
+                    self.pool.send(
+                        index, record.id, record.kind, record.payload,
+                        wire_trace,
+                    )
                 except (OSError, BrokenPipeError):
                     # Worker died between liveness scan and send; the
                     # next wait_any pass respawns it.  Keep the task.
@@ -506,6 +629,9 @@ class CompileService:
                 record.sent_at = time.perf_counter()
                 record.attempts += 1
                 self._inflight[index][record.id] = record
+                self._recent_queue.append(
+                    record.sent_at - record.submitted_at
+                )
                 self.session.metrics.observe(
                     "serve.task.queue_seconds",
                     record.sent_at - record.submitted_at,
@@ -520,7 +646,7 @@ class CompileService:
 
     def _handle_result(self, worker_index: int, envelope) -> None:
         try:
-            task_id, status, data, worker_seconds, delta = envelope
+            task_id, status, data, worker_seconds, delta, spans = envelope
             if not isinstance(task_id, int) or not isinstance(status, str):
                 raise TypeError("bogus envelope field types")
         except (TypeError, ValueError):
@@ -561,11 +687,27 @@ class CompileService:
             if record is not None and not record.done:
                 self._finish_noop(record)
             return
+        # Adopt the worker's captured span forest into the service
+        # session's tracer: these spans carry the request's trace id and
+        # parent into record.trace.span_id, closing the cross-process
+        # causal chain.  (Error replies ship spans too — the worker:task
+        # root closes during exception propagation.)
+        if record.trace is not None and spans and self.session.tracer.enabled:
+            self.session.tracer.events.extend(spans)
+        turnaround = time.perf_counter() - record.submitted_at
+        self._recent_turnaround.append(turnaround)
         self.session.metrics.observe(
             "serve.task.turnaround_seconds",
-            time.perf_counter() - record.submitted_at,
+            turnaround,
             description="submit-to-result wall seconds per task",
         )
+        if (
+            self.slow_log_seconds is not None
+            and turnaround > self.slow_log_seconds
+        ):
+            self._record_slow(
+                record, status, turnaround, float(worker_seconds), spans
+            )
         if status == "ok":
             try:
                 result = pickle.loads(data)
@@ -610,6 +752,8 @@ class CompileService:
             record.done = True
             self._records.pop(record.id, None)
             self._by_future.pop(record.future, None)
+        if record.trace is not None and self.session.tracer.enabled:
+            self._emit_request_spans(record, exception)
         self._slots.release()
         # Resolve outside the lock: done-callbacks may submit more work.
         if exception is not None:
@@ -617,12 +761,127 @@ class CompileService:
         else:
             record.future.set_result(result)
 
+    def _emit_request_spans(
+        self, record: TaskRecord, exception: Optional[BaseException]
+    ) -> None:
+        """Synthesize the client-side spans for one resolved request.
+
+        Two completed events are appended to the service session's
+        tracer: a ``serve:queue`` child covering submit→dispatch, and
+        the ``serve:request`` span itself, whose ``span_id`` is the one
+        the worker's ``worker:task`` root named as parent — that append
+        is what roots the cross-process tree.  Children precede their
+        parent, matching the tracer's completion-order convention.
+        """
+        context = record.trace
+        events: List[TraceEvent] = []
+        if record.sent_at is not None:
+            events.append(
+                TraceEvent(
+                    name="serve:queue",
+                    start_ns=record.submitted_ns,
+                    duration_ns=max(
+                        0,
+                        int((record.sent_at - record.submitted_at) * 1e9),
+                    ),
+                    depth=1,
+                    args={"task": record.id},
+                    trace_id=context.trace_id,
+                    span_id=new_span_id(),
+                    parent_id=context.span_id,
+                )
+            )
+        status = "ok" if exception is None else type(exception).__name__
+        events.append(
+            TraceEvent(
+                name="serve:request",
+                start_ns=record.submitted_ns,
+                duration_ns=max(
+                    0, time.perf_counter_ns() - record.submitted_ns
+                ),
+                depth=0,
+                args={
+                    "kind": record.kind,
+                    "task": record.id,
+                    "status": status,
+                    "attempts": record.attempts,
+                },
+                trace_id=context.trace_id,
+                span_id=context.span_id,
+                parent_id=record.parent_span,
+            )
+        )
+        self.session.tracer.events.extend(events)
+
+    def _record_slow(
+        self,
+        record: TaskRecord,
+        status: str,
+        turnaround: float,
+        worker_seconds: float,
+        spans: Sequence[TraceEvent],
+    ) -> None:
+        """Append one structured slow-request document (and log event).
+
+        The latency is decomposed into queue / marshal / worker /
+        parent-overhead segments from the record's own stamps, plus —
+        when the task shipped spans — the compile and compile-phase
+        seconds summed out of the worker's span forest.
+        """
+        queue_seconds = (
+            record.sent_at - record.submitted_at
+            if record.sent_at is not None
+            else 0.0
+        )
+        compile_ns = sum(
+            event.duration_ns for event in spans if event.name == "compile"
+        )
+        phase_ns = sum(
+            event.duration_ns
+            for event in spans
+            if event.name.startswith("phase:")
+        )
+        document: Dict[str, object] = {
+            "task": record.id,
+            "kind": record.kind,
+            "trace_id": record.trace.trace_id if record.trace else "",
+            "attempts": record.attempts,
+            "status": status,
+            "worker": record.worker_index,
+            "payload_bytes": record.payload_bytes,
+            "turnaround_seconds": round(turnaround, 6),
+            "queue_seconds": round(queue_seconds, 6),
+            "marshal_seconds": round(record.marshal_seconds, 6),
+            "worker_seconds": round(worker_seconds, 6),
+            "compile_seconds": round(compile_ns / 1e9, 6),
+            "compile_phase_seconds": round(phase_ns / 1e9, 6),
+            "overhead_seconds": round(
+                max(0.0, turnaround - queue_seconds - worker_seconds), 6
+            ),
+        }
+        self.slow_records.append(document)
+        self._log(
+            "warn", "slow-request",
+            f"task {record.id} ({record.kind}) took {turnaround:.3f}s "
+            f"(threshold {self.slow_log_seconds:.3f}s)",
+            record=record,
+            turnaround_seconds=round(turnaround, 6),
+            queue_seconds=round(queue_seconds, 6),
+            worker_seconds=round(worker_seconds, 6),
+        )
+
     def _handle_bad_frame(self, worker_index: int) -> None:
         _BAD_FRAMES.resolve(self.session.stats).add()
         self.session.remarks.recovery(
             "serve",
             f"bad frame from worker {worker_index}: killing it and "
             f"requeueing its in-flight tasks",
+            worker=worker_index,
+        )
+        self._log(
+            "error", "bad-frame",
+            f"malformed result frame from worker {worker_index}; killing "
+            f"the worker",
             worker=worker_index,
         )
         with self._lock:
@@ -637,6 +896,12 @@ class CompileService:
     def _handle_dead_worker(self, index: int) -> None:
         stats = self.session.stats
         _CRASHES.resolve(stats).add()
+        self._log(
+            "warn", "worker-crash",
+            f"worker {index} died; respawning and requeueing its "
+            f"in-flight tasks",
+            worker=index,
+        )
         with self._lock:
             orphans = list(self._inflight.get(index, OrderedDict()).values())
             self._inflight[index] = OrderedDict()
@@ -655,7 +920,14 @@ class CompileService:
                         worker=index,
                         error=type(exc).__name__,
                     )
+                    self._log(
+                        "error", "respawn-failed",
+                        f"respawn of worker {index} failed; slot defunct",
+                        worker=index,
+                        error=type(exc).__name__,
+                    )
         crashed: List[TaskRecord] = []
+        requeued: List[TaskRecord] = []
         with self._lock:
             for record in orphans:
                 if record.done or record.state == "abandoned":
@@ -666,7 +938,25 @@ class CompileService:
                 record.state = "pending"
                 record.worker_index = None
                 self._pending.appendleft(record)
+                requeued.append(record)
                 _REQUEUED.resolve(stats).add()
+        for record in requeued:
+            self._log(
+                "info", "requeue",
+                f"task {record.id} ({record.kind}) requeued after worker "
+                f"{index} crash (attempt {record.attempts + 1})",
+                record=record,
+                worker=index,
+                attempt=record.attempts,
+            )
+        for record in crashed:
+            self._log(
+                "error", "task-crashed",
+                f"task {record.id} ({record.kind}) killed worker {index} "
+                f"on {record.attempts} attempt(s); failing it",
+                record=record,
+                worker=index,
+            )
         for record in crashed:
             self._finish(
                 record,
@@ -704,6 +994,11 @@ class CompileService:
         stats = self.session.stats
         for record in expired:
             _TIMEOUTS.resolve(stats).add()
+            self._log(
+                "warn", "task-timeout",
+                f"task {record.id} ({record.kind}) exceeded its deadline",
+                record=record,
+            )
             self._finish(
                 record,
                 exception=TaskTimeout(
@@ -770,6 +1065,11 @@ class CompileService:
         stats = self.session.stats
         for index, reason in victims:
             _WEDGED.resolve(stats).add()
+            self._log(
+                "warn", "wedged-worker",
+                f"wedged worker {index}: {reason}",
+                worker=index,
+            )
             self.session.remarks.recovery(
                 "serve",
                 f"wedged worker {index}: {reason}; killing and "
@@ -823,3 +1123,17 @@ class CompileService:
             description="weighted tasks completed per wall second "
             "since service start",
         )
+        with self._lock:
+            recent_queue = list(self._recent_queue)
+            recent_turnaround = list(self._recent_turnaround)
+        for name, samples in (
+            ("queue", recent_queue), ("turnaround", recent_turnaround),
+        ):
+            if not samples:
+                continue
+            metrics.gauge(
+                f"serve.{name}_seconds.p99",
+                exact_percentile(samples, 99),
+                description=f"p99 request {name} latency over the recent "
+                "window (last 512 requests)",
+            )

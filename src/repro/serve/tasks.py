@@ -78,6 +78,9 @@ class WorkerState:
     cache_dir: Optional[str] = None
     cache_entries: Optional[int] = None
     tasks_done: int = 0
+    #: pool generation of the hosting process (respawns bump it);
+    #: stamped onto captured spans so traces key tracks by (pid, gen)
+    generation: int = 0
     #: kernel name -> printed module text, memoized for cache keying
     _module_texts: Dict[str, str] = field(default_factory=dict)
     _compile_cache: Optional[object] = field(default=None, repr=False)
@@ -204,7 +207,9 @@ def _bench_pair_task(payload, state: WorkerState):
     trace, remarks = pair[4], pair[5]
     store = state.result_store if use_cache else None
     if store is None or trace or remarks:
-        return _run_pair(pair)
+        run, capture = _run_pair(pair)
+        capture["generation"] = state.generation
+        return run, capture
     started = time.perf_counter()
     key = _bench_task_key(state, pair)
     entry = store.get(key)
@@ -213,12 +218,14 @@ def _bench_pair_task(payload, state: WorkerState):
         run = run_from_json(entry["run"])
         capture = {
             "pid": os.getpid(),
+            "generation": state.generation,
             "worker_seconds": time.perf_counter() - started,
             "cached": True,
         }
         return run, capture
     _TASK_MISSES.add()
     run, capture = _run_pair(pair)
+    capture["generation"] = state.generation
     store.put(key, {"format": BENCH_TASK_FORMAT, "run": run_to_json(run)})
     return run, capture
 

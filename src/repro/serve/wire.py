@@ -15,6 +15,16 @@ Requests::
     {"id": 5, "kind": "stats"}
     {"id": 6, "kind": "shutdown"}
 
+Any task request may carry an optional ``"trace"`` object —
+``{"trace_id": ..., "span_id": ..., "attempt": ...}``, the JSON form of
+:class:`~repro.observe.context.TraceContext` — and the service then
+parents its request/worker spans under the caller's span instead of
+minting a fresh trace.  ``stats`` answers with
+:meth:`~repro.serve.service.CompileService.describe`: queue depth,
+per-worker utilization and inflight counts, cache hit rate, p50/p99
+queue/turnaround latency, compiles/sec and breaker state — the document
+``repro top`` renders live.
+
 Responses (order follows *completion*, not submission — match on
 ``id``)::
 
@@ -50,6 +60,7 @@ import threading
 from typing import Dict, IO, List, Optional, Tuple
 
 from ..bench.runner import DEFAULT_SEED
+from ..observe.context import TraceContext
 from .service import CompileService, ServiceError
 from .tasks import run_to_json
 
@@ -178,6 +189,12 @@ def serve_stream(
     shutdown = False
     for line in in_stream:
         if len(line) > MAX_FRAME_BYTES:
+            service.session.log.emit(
+                "warn", "frame-too-large",
+                f"dropped a {len(line)}-byte request frame "
+                f"(limit {MAX_FRAME_BYTES})",
+                bytes=len(line),
+            )
             reply({
                 "id": None,
                 "ok": False,
@@ -235,14 +252,22 @@ def serve_stream(
         try:
             task_kind, payload, shard = _task_for_request(doc)
         except (KeyError, TypeError, ValueError) as exc:
+            service.session.log.emit(
+                "warn", "bad-request",
+                f"rejected request {request_id!r}: {exc}",
+                request=str(request_id),
+            )
             reply({
                 "id": request_id,
                 "ok": False,
                 "error": {"type": "BadRequest", "message": str(exc)},
             })
             continue
+        trace = TraceContext.from_doc(doc.get("trace"))
         try:
-            future = service.submit(task_kind, payload, shard_key=shard)
+            future = service.submit(
+                task_kind, payload, shard_key=shard, trace=trace
+            )
         except ServiceError as exc:
             reply({
                 "id": request_id,

@@ -333,12 +333,16 @@ class TestWorkerObservabilityMerge:
         assert session.tracer.events, "worker spans were not merged"
         pids = {event.pid for event in session.tracer.events}
         assert pids - {0}, "no worker-pid spans were merged"
-        # the parent records only the dispatch driver's own spans; all
-        # compile/simulate work happened in (and is attributed to) workers
+        # the parent records only the dispatch driver's own spans (plus
+        # the per-request service spans); all compile/simulate work
+        # happened in (and is attributed to) workers
         parent_names = {
             event.name for event in session.tracer.events if event.pid == 0
         }
-        assert parent_names <= {"parallel:submit", "parallel:merge"}
+        assert parent_names <= {
+            "parallel:submit", "parallel:merge",
+            "serve:request", "serve:queue",
+        }
         assert session.remarks.remarks, "worker remarks were not merged"
         assert all(
             "worker_pid" in remark.args for remark in session.remarks.remarks

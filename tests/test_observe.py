@@ -82,12 +82,14 @@ class TestTracer:
                 pass
         doc = tracer.to_chrome_trace()
         assert doc["displayTimeUnit"] == "ms"
-        events = doc["traceEvents"]
-        assert len(events) == 2
-        for event in events:
-            assert event["ph"] == "X"
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(spans) == 2
+        # one process_name metadata record labels the (pid, generation) track
+        assert meta and all(m["name"] == "process_name" for m in meta)
+        for event in spans:
             assert set(event) >= {"name", "ts", "dur", "pid", "tid"}
-        by_name = {e["name"]: e for e in events}
+        by_name = {e["name"]: e for e in spans}
         assert by_name["outer"]["args"] == {"config": "SN-SLP"}
 
     def test_chrome_trace_file_roundtrip(self, tracer, tmp_path):
@@ -96,7 +98,8 @@ class TestTracer:
         path = tmp_path / "trace.json"
         tracer.write_chrome_trace(str(path))
         loaded = json.loads(path.read_text())
-        assert loaded["traceEvents"][0]["name"] == "compile"
+        spans = [e for e in loaded["traceEvents"] if e["ph"] == "X"]
+        assert spans[0]["name"] == "compile"
 
     def test_clear_resets_events_and_stack(self, tracer):
         with tracer.span("a"):
